@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the per-algorithm local update step
+//! (the kernel behind Table I, Table III and Fig. 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taco_core::update::{run_local_steps, LocalRule};
+use taco_data::{tabular, vision};
+use taco_nn::{Mlp, Model, PaperCnn};
+use taco_tensor::Prng;
+
+fn rules(dim: usize) -> Vec<(&'static str, LocalRule)> {
+    vec![
+        ("fedavg", LocalRule::PlainSgd),
+        (
+            "fedprox",
+            LocalRule::Prox {
+                lambda: 0.1,
+                anchor: vec![0.0; dim],
+            },
+        ),
+        (
+            "scaffold_taco",
+            LocalRule::Correction {
+                term: vec![0.01; dim],
+            },
+        ),
+        ("stem", LocalRule::StemMomentum { alpha: 0.2 }),
+    ]
+}
+
+fn bench_cnn_local_step(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(1);
+    let spec = vision::VisionSpec::fmnist_like().with_sizes(128, 16);
+    let data = vision::generate(&spec, &mut rng).train;
+    let mut model = PaperCnn::for_image(1, 28, 10, &mut rng);
+    let dim = model.param_count();
+    let mut group = c.benchmark_group("cnn_local_step");
+    group.sample_size(10);
+    for (name, rule) in rules(dim) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rule, |b, rule| {
+            b.iter(|| {
+                let mut step_rng = Prng::seed_from_u64(7);
+                run_local_steps(&mut model, &data, rule, 2, 0.01, 16, &mut step_rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mlp_local_step(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(2);
+    let spec = tabular::TabularSpec::adult_like().with_sizes(256, 16);
+    let data = tabular::generate(&spec, &mut rng).train;
+    let mut model = Mlp::paper_adult(14, 2, &mut rng);
+    let dim = model.param_count();
+    let mut group = c.benchmark_group("mlp_local_step");
+    group.sample_size(20);
+    for (name, rule) in rules(dim) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rule, |b, rule| {
+            b.iter(|| {
+                let mut step_rng = Prng::seed_from_u64(7);
+                run_local_steps(&mut model, &data, rule, 5, 0.01, 16, &mut step_rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cnn_local_step, bench_mlp_local_step);
+criterion_main!(benches);

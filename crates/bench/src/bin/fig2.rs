@@ -1,0 +1,87 @@
+//! Fig. 2: round-to-accuracy (a, b) and time-to-accuracy (c, d)
+//! re-evaluation on the FMNIST- and SVHN-equivalents.
+//!
+//! The paper's finding: most baselines do not beat FedAvg; FedProx and
+//! Scaffold are less stable (over-correction), STEM wins on rounds but
+//! loses on wall-clock. The binary prints both series per algorithm.
+
+use taco_bench::{all_algorithms, banner, report, run, workload, Scale};
+
+fn main() {
+    banner(
+        "Fig. 2: round- and time-to-accuracy re-evaluation",
+        "FedProx/Scaffold unstable or divergent; STEM good per round but slow per second; TACO best overall",
+    );
+    let scale = Scale::from_env();
+    let clients = 8;
+    let seeds: u64 = std::env::var("TACO_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    for ds in ["fmnist", "svhn"] {
+        let mut acc_rows = Vec::new();
+        let mut time_rows = Vec::new();
+        let mut summary = Vec::new();
+        for alg_idx in 0..7 {
+            let mut finals = Vec::new();
+            let mut instabilities = Vec::new();
+            let mut times = Vec::new();
+            let mut name = String::new();
+            for seed in 0..seeds {
+                let w = workload(ds, clients, 21 + seed, scale, None);
+                let alg = all_algorithms(clients, w.rounds, w.hyper.local_steps)
+                    .into_iter()
+                    .nth(alg_idx)
+                    .expect("algorithm index");
+                name = alg.name().to_string();
+                let history = run(&w, alg, 21 + seed, None, true);
+                if seed == 0 {
+                    for (r, acc) in history.accuracy_series().iter().enumerate() {
+                        acc_rows.push(vec![
+                            name.clone(),
+                            (r + 1).to_string(),
+                            format!("{:.4}", acc),
+                        ]);
+                    }
+                    for (t, acc) in history.accuracy_vs_time() {
+                        time_rows.push(vec![
+                            name.clone(),
+                            format!("{t:.3}"),
+                            format!("{acc:.4}"),
+                        ]);
+                    }
+                }
+                finals.push(history.final_accuracy() * 100.0);
+                instabilities.push(history.instability());
+                times.push(history.total_time());
+            }
+            let ms = taco_tensor::stats::MeanStd::of(&finals);
+            summary.push(vec![
+                name.clone(),
+                format!("{:.2}±{:.2}%", ms.mean, ms.std),
+                format!("{:.4}", taco_tensor::stats::mean(&instabilities)),
+                format!("{:.1}s", taco_tensor::stats::mean(&times)),
+            ]);
+        }
+        println!("--- {ds} ---");
+        report(
+            &format!("fig2_summary_{ds}"),
+            &["algorithm", "final acc", "instability", "total client time"],
+            &summary,
+        );
+        // Full series land in CSV only (they are plots in the paper).
+        taco_bench::report_csv_only(
+            &format!("fig2_round_to_acc_{ds}"),
+            &["algorithm", "round", "accuracy"],
+            &acc_rows,
+        );
+        taco_bench::report_csv_only(
+            &format!("fig2_time_to_acc_{ds}"),
+            &["algorithm", "cumulative_seconds", "accuracy"],
+            &time_rows,
+        );
+        println!(
+            "(series written to results/fig2_round_to_acc_{ds}.csv and results/fig2_time_to_acc_{ds}.csv)\n"
+        );
+    }
+}

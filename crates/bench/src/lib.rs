@@ -1,0 +1,466 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! Every table and figure in the paper has a binary in `src/bin/`
+//! (`table1`, `fig2`, ..., `fig7`) built from the pieces here: a
+//! workload registry mirroring Table IV, an algorithm registry
+//! mirroring the paper's baselines, and table/CSV reporting helpers.
+//!
+//! Scale: the paper trains full datasets for 50–200 rounds on a GPU;
+//! the harness defaults to a laptop-scale configuration that preserves
+//! the comparisons' *shape* (see EXPERIMENTS.md). Set `TACO_SCALE=paper`
+//! to run closer to the paper's round/step counts.
+
+#![deny(missing_docs)]
+
+use std::io::Write as _;
+
+use taco_core::taco::TacoConfig;
+use taco_core::{
+    AggWeighting, FedAcg, FedAvg, FedProx, FederatedAlgorithm, FoolsGold, HyperParams, Scaffold,
+    Stem, Taco, TailoredProx, TailoredScaffold,
+};
+use taco_data::{partition, tabular, text, vision, FederatedDataset};
+use taco_nn::{CharLstm, Mlp, Model, PaperCnn, TinyResNet};
+use taco_sim::{ClientBehavior, History, SimConfig, Simulation};
+use taco_tensor::Prng;
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Local steps per round `K`.
+    pub local_steps: usize,
+    /// Training samples in the synthetic dataset.
+    pub train_n: usize,
+    /// Test samples.
+    pub test_n: usize,
+    /// Mini-batch size `s`.
+    pub batch_size: usize,
+}
+
+impl Scale {
+    /// The default laptop-scale configuration.
+    pub fn quick() -> Self {
+        Scale {
+            rounds: 15,
+            local_steps: 12,
+            train_n: 1200,
+            test_n: 300,
+            batch_size: 16,
+        }
+    }
+
+    /// A configuration closer to the paper's (still reduced — the
+    /// paper uses up to 200 rounds × 1000 steps on a GPU).
+    pub fn paper() -> Self {
+        Scale {
+            rounds: 40,
+            local_steps: 40,
+            train_n: 4000,
+            test_n: 800,
+            batch_size: 64,
+        }
+    }
+
+    /// Reads the scale from the `TACO_SCALE` environment variable
+    /// (`quick` default, `paper` for the larger runs).
+    pub fn from_env() -> Self {
+        match std::env::var("TACO_SCALE").as_deref() {
+            Ok("paper") => Scale::paper(),
+            _ => Scale::quick(),
+        }
+    }
+}
+
+/// How a workload's training data is split across clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionKind {
+    /// The paper's synthetic Group A/B/C label-diversity split.
+    SyntheticGroups,
+    /// `Dir(φ)` label skew.
+    Dirichlet(f64),
+    /// IID shuffle.
+    Iid,
+}
+
+/// One dataset+model workload from Table IV, scaled for the harness.
+pub struct Workload {
+    /// Dataset name as reported in the paper's tables.
+    pub name: String,
+    /// The partitioned federation.
+    pub fed: FederatedDataset,
+    /// The model prototype (initial parameters shared by all runs).
+    pub model: Box<dyn Model>,
+    /// Shared FL hyper-parameters.
+    pub hyper: HyperParams,
+    /// Rounds `T`.
+    pub rounds: usize,
+    /// Chance-level accuracy (1/classes).
+    pub chance: f64,
+    /// The target accuracy used for round/time-to-accuracy columns
+    /// (the scaled analogue of the paper's per-dataset targets).
+    pub target: f64,
+    /// Group assignment when the partition is
+    /// [`PartitionKind::SyntheticGroups`].
+    pub groups: Option<Vec<partition::DiversityGroup>>,
+}
+
+/// Builds one of the eight Table IV workloads.
+///
+/// `name` ∈ {`mnist`, `fmnist`, `femnist`, `svhn`, `cifar10`,
+/// `cifar100`, `adult`, `shakespeare`}. The default partition follows
+/// Table IV (synthetic groups for MNIST/FMNIST/SVHN/CIFAR-10,
+/// `Dir(0.2)` for FEMNIST, `Dir(0.5)` for CIFAR-100 and adult, native
+/// per-client styles for Shakespeare); pass `partition_override` to
+/// deviate (Table VI's sweeps).
+///
+/// # Panics
+///
+/// Panics on an unknown workload name.
+pub fn workload(
+    name: &str,
+    clients: usize,
+    seed: u64,
+    scale: Scale,
+    partition_override: Option<PartitionKind>,
+) -> Workload {
+    let mut rng = Prng::seed_from_u64(seed ^ 0xDA7A);
+    let mut model_rng = Prng::seed_from_u64(seed ^ 0x0DE1);
+    let (fed, model, default_target, groups): (
+        FederatedDataset,
+        Box<dyn Model>,
+        f64,
+        Option<Vec<partition::DiversityGroup>>,
+    ) = match name {
+        "shakespeare" => {
+            let spec = text::TextSpec::shakespeare_like(clients)
+                .with_sizes(scale.train_n / clients, scale.test_n);
+            let fed = text::generate(&spec, &mut rng);
+            let model = CharLstm::new(28, 12, 32, &mut model_rng);
+            (fed, Box::new(model), 0.30, None)
+        }
+        "adult" => {
+            let spec = tabular::TabularSpec::adult_like().with_sizes(scale.train_n, scale.test_n);
+            let data = tabular::generate(&spec, &mut rng);
+            let part = partition_override.unwrap_or(PartitionKind::Dirichlet(0.5));
+            let (shards, groups) = make_partition(data.train.labels(), clients, part, &mut rng);
+            let fed = FederatedDataset::from_partition(data.train, data.test, &shards);
+            let model = Mlp::paper_adult(14, 2, &mut model_rng);
+            (fed, Box::new(model), 0.78, groups)
+        }
+        _ => {
+            let spec = match name {
+                "mnist" => vision::VisionSpec::mnist_like(),
+                "fmnist" => vision::VisionSpec::fmnist_like(),
+                "femnist" => vision::VisionSpec::femnist_like(),
+                "svhn" => vision::VisionSpec::svhn_like(),
+                "cifar10" => vision::VisionSpec::cifar10_like(),
+                "cifar100" => vision::VisionSpec::cifar100_like(),
+                other => panic!("unknown workload {other}"),
+            }
+            .with_sizes(scale.train_n, scale.test_n);
+            let default_part = match name {
+                "femnist" => PartitionKind::Dirichlet(0.2),
+                "cifar100" => PartitionKind::Dirichlet(0.5),
+                _ => PartitionKind::SyntheticGroups,
+            };
+            let part = partition_override.unwrap_or(default_part);
+            let data = vision::generate(&spec, &mut rng);
+            let (shards, groups) = make_partition(data.train.labels(), clients, part, &mut rng);
+            let classes = data.train.classes();
+            let channels = data.train.sample_dims()[0];
+            let side = data.train.sample_dims()[1];
+            let fed = FederatedDataset::from_partition(data.train, data.test, &shards);
+            let model: Box<dyn Model> = if name == "cifar100" {
+                Box::new(TinyResNet::for_image(channels, side, classes, &mut model_rng))
+            } else {
+                Box::new(PaperCnn::for_image(channels, side, classes, &mut model_rng))
+            };
+            let target = match name {
+                "mnist" => 0.85,
+                "fmnist" => 0.70,
+                "femnist" => 0.50,
+                "svhn" => 0.60,
+                "cifar10" => 0.55,
+                "cifar100" => 0.25,
+                _ => 0.5,
+            };
+            (fed, model, target, groups)
+        }
+    };
+    let chance = 1.0 / fed.test().classes() as f64;
+    // η_l is scaled per workload: the paper's 0.01 pairs with K in the
+    // hundreds; at harness scale (K ≈ 10) the product K·η_l is kept in
+    // the same regime. Shakespeare follows the paper in using a much
+    // larger LSTM learning rate.
+    let eta_l = match name {
+        "shakespeare" => 0.3,
+        "adult" => 0.05,
+        _ => 0.03,
+    };
+    let hyper = HyperParams::new(clients, scale.local_steps, eta_l, scale.batch_size);
+    Workload {
+        name: name.to_string(),
+        fed,
+        model,
+        hyper,
+        rounds: scale.rounds,
+        chance,
+        target: default_target,
+        groups,
+    }
+}
+
+fn make_partition(
+    labels: &[usize],
+    clients: usize,
+    kind: PartitionKind,
+    rng: &mut Prng,
+) -> (Vec<Vec<usize>>, Option<Vec<partition::DiversityGroup>>) {
+    match kind {
+        PartitionKind::SyntheticGroups => {
+            let (shards, groups) = partition::synthetic_groups(labels, clients, rng);
+            (shards, Some(groups))
+        }
+        PartitionKind::Dirichlet(phi) => (partition::dirichlet(labels, clients, phi, rng), None),
+        PartitionKind::Iid => (partition::iid(labels, clients, rng), None),
+    }
+}
+
+/// The paper's seven algorithms with their default hyper-parameters
+/// (Section V-A): `ζ = 0.1`, SCAFFOLD `α = 1`, STEM `α_t = 0.2`,
+/// FedACG `β = 0.001`, TACO `γ = 1/K`, `κ = 0.6`, `λ = T/5`.
+pub fn all_algorithms(clients: usize, rounds: usize, local_steps: usize) -> Vec<Box<dyn FederatedAlgorithm>> {
+    vec![
+        Box::new(FedAvg::new(AggWeighting::Uniform)),
+        Box::new(FedProx::new(0.1)),
+        Box::new(FoolsGold::new()),
+        Box::new(Scaffold::new(clients, 1.0)),
+        // The paper's α_t = 0.2 pairs with K in the hundreds and
+        // η_l = 0.01; at harness scale the per-step movement is larger
+        // and the variance-reduction recursion with small α diverges,
+        // so STEM's coefficient is re-tuned to 0.5 (kept constant) —
+        // the same re-scaling applied to η_l and γ·K.
+        Box::new(Stem::new(0.5).without_decay()),
+        Box::new(FedAcg::new(0.001)),
+        // Per-round reported model is w_t, matching the paper's
+        // figures; Algorithm 2's z_T extrapolation (Eq. 15) happens
+        // once after training, not at every evaluation point.
+        Box::new(Taco::new(
+            clients,
+            TacoConfig::paper_default(rounds, local_steps).with_extrapolated_output(false),
+        )),
+    ]
+}
+
+/// Builds one algorithm by its paper name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn algorithm_by_name(
+    name: &str,
+    clients: usize,
+    rounds: usize,
+    local_steps: usize,
+) -> Box<dyn FederatedAlgorithm> {
+    match name {
+        "FedAvg" => Box::new(FedAvg::new(AggWeighting::Uniform)),
+        "FedProx" => Box::new(FedProx::new(0.1)),
+        "FoolsGold" => Box::new(FoolsGold::new()),
+        "Scaffold" => Box::new(Scaffold::new(clients, 1.0)),
+        "STEM" => Box::new(Stem::new(0.5).without_decay()),
+        "FedACG" => Box::new(FedAcg::new(0.001)),
+        "TACO" => Box::new(Taco::new(
+            clients,
+            TacoConfig::paper_default(rounds, local_steps).with_extrapolated_output(false),
+        )),
+        "FedProx+TACO" => Box::new(TailoredProx::new(clients, 0.1)),
+        "Scaffold+TACO" => Box::new(TailoredScaffold::new(clients)),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// Runs one algorithm on a workload. `sequential` disables parallel
+/// clients (timing experiments); `behaviors` defaults to all-honest.
+pub fn run(
+    w: &Workload,
+    algorithm: Box<dyn FederatedAlgorithm>,
+    seed: u64,
+    behaviors: Option<Vec<ClientBehavior>>,
+    sequential: bool,
+) -> History {
+    let mut config = SimConfig::new(w.hyper, w.rounds, seed);
+    if let Some(b) = behaviors {
+        config = config.with_behaviors(b);
+    }
+    if sequential {
+        config = config.sequential();
+    }
+    Simulation::new(w.fed.clone(), w.model.clone_model(), algorithm, config).run()
+}
+
+/// Formats `rounds_to_accuracy`-style results the way the paper's
+/// Table V does: a number, `T+` when unreached but still climbing, or
+/// `×` on divergence.
+pub fn format_rounds(history: &History, target: f64, total_rounds: usize, chance: f64) -> String {
+    match history.rounds_to_accuracy(target) {
+        Some(r) => r.to_string(),
+        None if history.diverged(chance) => "x".to_string(),
+        None => format!("{total_rounds}+"),
+    }
+}
+
+/// Prints an aligned text table and writes it as CSV to
+/// `results/<name>.csv`.
+pub fn report(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    // Column widths.
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", line(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+    // CSV artifact.
+    if let Err(e) = write_csv(name, headers, rows) {
+        eprintln!("warning: could not write results/{name}.csv: {e}");
+    }
+}
+
+/// Writes rows to `results/<name>.csv` without printing a table (used
+/// for the long per-round series backing the paper's figures).
+pub fn report_csv_only(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if let Err(e) = write_csv(name, headers, rows) {
+        eprintln!("warning: could not write results/{name}.csv: {e}");
+    }
+}
+
+fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        writeln!(f, "{}", escaped.join(","))?;
+    }
+    Ok(())
+}
+
+/// Paper-vs-measured banner printed at the top of every experiment
+/// binary.
+pub fn banner(exp: &str, paper_claim: &str) {
+    println!("== {exp} ==");
+    println!("paper: {paper_claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_registry_covers_table_iv() {
+        let scale = Scale {
+            rounds: 2,
+            local_steps: 2,
+            train_n: 60,
+            test_n: 30,
+            batch_size: 8,
+        };
+        for name in [
+            "mnist",
+            "fmnist",
+            "femnist",
+            "svhn",
+            "cifar10",
+            "adult",
+            "shakespeare",
+        ] {
+            let w = workload(name, 3, 1, scale, None);
+            assert_eq!(w.fed.num_clients(), 3, "{name}");
+            assert!(w.chance > 0.0 && w.chance <= 0.5, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_have_unique_names() {
+        let algs = all_algorithms(4, 10, 5);
+        let names: Vec<&str> = algs.iter().map(|a| a.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn algorithm_by_name_round_trips() {
+        for n in [
+            "FedAvg",
+            "FedProx",
+            "FoolsGold",
+            "Scaffold",
+            "STEM",
+            "FedACG",
+            "TACO",
+            "FedProx+TACO",
+            "Scaffold+TACO",
+        ] {
+            assert_eq!(algorithm_by_name(n, 2, 10, 5).name(), n);
+        }
+    }
+
+    #[test]
+    fn format_rounds_variants() {
+        use taco_sim::RoundRecord;
+        let mk = |accs: &[f64]| History {
+            algorithm: "t".into(),
+            rounds: accs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| RoundRecord {
+                    round: i,
+                    test_accuracy: a,
+                    test_loss: 0.0,
+                    train_loss: 0.0,
+                    max_client_seconds: 0.0,
+                    total_client_seconds: 0.0,
+                    alphas: None,
+                    expelled: 0,
+                    upload_bytes: 0,
+                })
+                .collect(),
+            expelled_clients: vec![],
+        };
+        assert_eq!(format_rounds(&mk(&[0.2, 0.6]), 0.5, 2, 0.1), "2");
+        assert_eq!(format_rounds(&mk(&[0.2, 0.3]), 0.5, 2, 0.1), "2+");
+        assert_eq!(format_rounds(&mk(&[0.2, 0.6, 0.05]), 0.9, 3, 0.1), "x");
+    }
+}

@@ -1,0 +1,160 @@
+//! The server-side algorithm trait.
+
+use crate::hyper::HyperParams;
+use crate::update::{ClientUpdate, LocalRule};
+
+/// How aggregation weights `p_i` are chosen in Eq. 6 when the
+/// algorithm itself does not prescribe them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AggWeighting {
+    /// `p_i = 1/N`.
+    Uniform,
+    /// `p_i = D_i / D`.
+    DataSize,
+}
+
+/// Static per-step compute profile of an algorithm, used by the
+/// simulator's analytic cost model (Table I / Table III / Fig. 5
+/// report the *measured* numbers; the profile lets the harness verify
+/// the measured ratios against the arithmetic the paper describes).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostProfile {
+    /// Gradient evaluations per local step (2 for STEM).
+    pub grads_per_step: usize,
+    /// Parameter-length vector operations added per local step on top
+    /// of the SGD update (prox pull, correction add, ...).
+    pub extra_vector_ops: usize,
+}
+
+/// A federated-learning algorithm's server logic.
+///
+/// The simulation runtime drives one round as:
+///
+/// 1. [`FederatedAlgorithm::begin_round`] with the current global
+///    parameters;
+/// 2. [`FederatedAlgorithm::local_rule`] for every participating
+///    client, whose result is interpreted by
+///    [`crate::update::run_local_steps`] on the client's model/shard;
+/// 3. [`FederatedAlgorithm::aggregate`] with all uploads, returning
+///    the next global parameter vector.
+///
+/// Implementations hold whatever cross-round state they need (control
+/// variates, momenta, correction coefficients).
+pub trait FederatedAlgorithm: Send {
+    /// The algorithm's display name (matches the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Called at the start of round `t` with the global parameters.
+    /// Default: no-op.
+    fn begin_round(&mut self, _round: usize, _global: &[f32]) {}
+
+    /// The local-update rule client `client` must follow this round.
+    fn local_rule(&self, client: usize, global: &[f32]) -> LocalRule;
+
+    /// Aggregates the round's uploads and returns the next global
+    /// parameter vector.
+    fn aggregate(
+        &mut self,
+        global: &[f32],
+        updates: &[ClientUpdate],
+        hyper: &HyperParams,
+    ) -> Vec<f32>;
+
+    /// The parameters to evaluate/report (TACO reports `z_t`, Eq. 15;
+    /// everyone else reports `w_t`).
+    fn output_params(&self, global: &[f32]) -> Vec<f32> {
+        global.to_vec()
+    }
+
+    /// Clients expelled so far by freeloader detection (TACO only).
+    fn expelled(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// The current per-client correction coefficients `α_i^t`, if the
+    /// algorithm computes them (TACO and the tailored hybrids).
+    fn alphas(&self) -> Option<&[f32]> {
+        None
+    }
+
+    /// The algorithm's static per-step compute profile.
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile {
+            grads_per_step: 1,
+            extra_vector_ops: 0,
+        }
+    }
+}
+
+/// Computes the FedAvg-style aggregated gradient
+/// `Δ_{t+1} = Σ p_i Δ_i / (K·η_l)` and applies
+/// `w_{t+1} = w_t − η_g Δ_{t+1}` (Eq. 6 with the paper's
+/// normalization).
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or delta lengths differ from `global`.
+pub fn fedavg_step(
+    global: &[f32],
+    updates: &[ClientUpdate],
+    hyper: &HyperParams,
+    weighting: AggWeighting,
+) -> Vec<f32> {
+    assert!(!updates.is_empty(), "aggregate with no updates");
+    let weights: Vec<f32> = match weighting {
+        AggWeighting::Uniform => vec![1.0; updates.len()],
+        AggWeighting::DataSize => updates.iter().map(|u| u.num_samples as f32).collect(),
+    };
+    let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
+    let mean = taco_tensor::ops::weighted_mean(&deltas, &weights);
+    let scale = hyper.eta_g / hyper.k_eta_l();
+    let mut next = global.to_vec();
+    taco_tensor::ops::axpy(&mut next, -scale, &mean);
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(client: usize, delta: Vec<f32>, n: usize) -> ClientUpdate {
+        ClientUpdate {
+            client,
+            delta,
+            num_samples: n,
+            final_v: None,
+            mean_loss: 0.0,
+            grad_evals: 0,
+            steps: 1,
+            compute_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn fedavg_step_with_default_eta_g_averages_models() {
+        // With η_g = K·η_l, w' = w − mean(Δ_i), i.e. the average of the
+        // client models (w − Δ_i).
+        let hyper = HyperParams::new(2, 10, 0.1, 4);
+        let global = vec![1.0, 1.0];
+        let updates = vec![upd(0, vec![0.2, 0.0], 5), upd(1, vec![0.0, 0.4], 5)];
+        let next = fedavg_step(&global, &updates, &hyper, AggWeighting::Uniform);
+        assert!((next[0] - 0.9).abs() < 1e-6);
+        assert!((next[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn data_weighting_prefers_large_clients() {
+        let hyper = HyperParams::new(2, 1, 1.0, 4);
+        let global = vec![0.0];
+        let updates = vec![upd(0, vec![1.0], 9), upd(1, vec![0.0], 1)];
+        let next = fedavg_step(&global, &updates, &hyper, AggWeighting::DataSize);
+        assert!((next[0] + 0.9).abs() < 1e-6, "got {}", next[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no updates")]
+    fn empty_updates_panic() {
+        let hyper = HyperParams::new(1, 1, 1.0, 1);
+        let _ = fedavg_step(&[0.0], &[], &hyper, AggWeighting::Uniform);
+    }
+}

@@ -1,0 +1,232 @@
+//! Lossy upload compression (gradient sparsification/quantization).
+//!
+//! The paper's related work cites compressed federated learning
+//! (Haddadpour et al., cited as reference 42) among the momentum-correction family.
+//! This module provides the two standard compressors so the
+//! communication model in `taco-sim` can study accuracy-vs-bytes
+//! trade-offs on top of any algorithm:
+//!
+//! - [`TopK`] — keep the `k` largest-magnitude coordinates, zero the
+//!   rest (a *contraction* operator: the error norm is at most
+//!   `√(1 − k/d)` of the input norm; property-tested).
+//! - [`Uniform8Bit`] — per-tensor affine quantization to 256 levels.
+//!
+//! Both implement [`Compressor`], which reports payload bytes for the
+//! communication model and reconstructs the (lossy) vector the server
+//! actually receives.
+
+/// A lossy vector codec with a known wire size.
+pub trait Compressor: Send + Sync {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Compresses and immediately reconstructs `input`, returning the
+    /// lossy vector the receiver would decode.
+    fn roundtrip(&self, input: &[f32]) -> Vec<f32>;
+
+    /// Wire bytes needed to transmit a vector of length `dim`.
+    fn payload_bytes(&self, dim: usize) -> usize;
+}
+
+/// Keeps the `k` largest-magnitude coordinates (ties broken by index).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TopK {
+    /// Fraction of coordinates kept, in `(0, 1]`.
+    pub keep_fraction: f64,
+}
+
+impl TopK {
+    /// Creates a top-k compressor keeping `keep_fraction` of the
+    /// coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is outside `(0, 1]`.
+    pub fn new(keep_fraction: f64) -> Self {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0, 1], got {keep_fraction}"
+        );
+        TopK { keep_fraction }
+    }
+
+    fn k_for(&self, dim: usize) -> usize {
+        ((dim as f64 * self.keep_fraction).ceil() as usize).clamp(1, dim.max(1))
+    }
+}
+
+impl Compressor for TopK {
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+
+    fn roundtrip(&self, input: &[f32]) -> Vec<f32> {
+        if input.is_empty() {
+            return Vec::new();
+        }
+        let k = self.k_for(input.len());
+        let mut idx: Vec<usize> = (0..input.len()).collect();
+        idx.sort_by(|&a, &b| {
+            input[b]
+                .abs()
+                .partial_cmp(&input[a].abs())
+                .expect("finite values")
+                .then(a.cmp(&b))
+        });
+        let mut out = vec![0.0f32; input.len()];
+        for &i in &idx[..k] {
+            out[i] = input[i];
+        }
+        out
+    }
+
+    fn payload_bytes(&self, dim: usize) -> usize {
+        // One (index: u32, value: f32) pair per kept coordinate.
+        self.k_for(dim) * 8
+    }
+}
+
+/// Per-vector affine 8-bit quantization: values are mapped to 256
+/// uniform levels between the vector's min and max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Uniform8Bit;
+
+impl Compressor for Uniform8Bit {
+    fn name(&self) -> &'static str {
+        "uniform-8bit"
+    }
+
+    fn roundtrip(&self, input: &[f32]) -> Vec<f32> {
+        if input.is_empty() {
+            return Vec::new();
+        }
+        let min = input.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let range = max - min;
+        if range <= 0.0 || !range.is_finite() {
+            return input.to_vec();
+        }
+        let scale = range / 255.0;
+        input
+            .iter()
+            .map(|&x| {
+                let level = ((x - min) / scale).round().clamp(0.0, 255.0);
+                min + level * scale
+            })
+            .collect()
+    }
+
+    fn payload_bytes(&self, dim: usize) -> usize {
+        // One byte per coordinate plus the (min, max) header.
+        dim + 8
+    }
+}
+
+/// An identity codec (baseline for the trade-off sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct NoCompression;
+
+impl Compressor for NoCompression {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn roundtrip(&self, input: &[f32]) -> Vec<f32> {
+        input.to_vec()
+    }
+
+    fn payload_bytes(&self, dim: usize) -> usize {
+        dim * 4
+    }
+}
+
+/// Relative compression error `‖x − C(x)‖ / ‖x‖` (0 for a zero input).
+pub fn relative_error(compressor: &dyn Compressor, input: &[f32]) -> f64 {
+    let norm = taco_tensor::ops::norm(input) as f64;
+    if norm < 1e-12 {
+        return 0.0;
+    }
+    let out = compressor.roundtrip(input);
+    let err = taco_tensor::ops::norm(&taco_tensor::ops::sub(input, &out)) as f64;
+    err / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_tensor::{ops, Prng, Tensor};
+
+    #[test]
+    fn topk_keeps_largest() {
+        let c = TopK::new(0.5);
+        let out = c.roundtrip(&[0.1, -5.0, 0.2, 3.0]);
+        assert_eq!(out, vec![0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn topk_is_contraction() {
+        let mut rng = Prng::seed_from_u64(1);
+        let x = Tensor::randn([257], 1.0, &mut rng).into_vec();
+        for frac in [0.01, 0.1, 0.5, 1.0] {
+            let c = TopK::new(frac);
+            let err = relative_error(&c, &x);
+            let bound = (1.0 - frac).sqrt() + 0.1;
+            assert!(err <= bound, "frac {frac}: err {err} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn topk_full_fraction_is_identity() {
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(TopK::new(1.0).roundtrip(&x), x);
+        assert_eq!(TopK::new(1.0).payload_bytes(3), 24);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let mut rng = Prng::seed_from_u64(2);
+        let x = Tensor::randn([1000], 2.0, &mut rng).into_vec();
+        let out = Uniform8Bit.roundtrip(&x);
+        let min = x.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let half_step = (max - min) / 255.0 / 2.0;
+        for (a, b) in x.iter().zip(&out) {
+            assert!((a - b).abs() <= half_step * 1.001, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantization_of_constant_vector_is_exact() {
+        let x = vec![0.7; 16];
+        assert_eq!(Uniform8Bit.roundtrip(&x), x);
+    }
+
+    #[test]
+    fn payload_sizes_are_ordered() {
+        let dim = 10_000;
+        assert!(TopK::new(0.01).payload_bytes(dim) < Uniform8Bit.payload_bytes(dim));
+        assert!(Uniform8Bit.payload_bytes(dim) < NoCompression.payload_bytes(dim));
+    }
+
+    #[test]
+    fn no_compression_is_lossless() {
+        let mut rng = Prng::seed_from_u64(3);
+        let x = Tensor::randn([64], 1.0, &mut rng).into_vec();
+        assert_eq!(NoCompression.roundtrip(&x), x);
+        assert_eq!(relative_error(&NoCompression, &x), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert!(TopK::new(0.5).roundtrip(&[]).is_empty());
+        assert!(Uniform8Bit.roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn topk_preserves_direction() {
+        let mut rng = Prng::seed_from_u64(4);
+        let x = Tensor::randn([512], 1.0, &mut rng).into_vec();
+        let out = TopK::new(0.2).roundtrip(&x);
+        assert!(ops::cosine_similarity(&x, &out) > 0.5);
+    }
+}

@@ -1,0 +1,93 @@
+//! FedProx (Li et al.) — loss-function regularization.
+
+use crate::algorithm::{fedavg_step, AggWeighting, CostProfile, FederatedAlgorithm};
+use crate::hyper::HyperParams;
+use crate::update::{ClientUpdate, LocalRule};
+
+/// FedProx: each client minimizes
+/// `f_i(w) + (ζ/2)‖w − w_t‖²` (Algorithm 1, line 4), which adds the
+/// gradient term `ζ(w − w_t)` to every local step. The coefficient
+/// `ζ` is **uniform across clients** — the over-correction mechanism
+/// the paper analyzes (Section III-B).
+#[derive(Debug, Clone)]
+pub struct FedProx {
+    zeta: f32,
+    weighting: AggWeighting,
+}
+
+impl FedProx {
+    /// Creates FedProx with regularization strength `ζ` (the paper's
+    /// default configuration uses `ζ = 0.1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeta` is negative or not finite.
+    pub fn new(zeta: f32) -> Self {
+        assert!(
+            zeta.is_finite() && zeta >= 0.0,
+            "zeta must be non-negative and finite, got {zeta}"
+        );
+        FedProx {
+            zeta,
+            weighting: AggWeighting::Uniform,
+        }
+    }
+
+    /// The regularization strength.
+    pub fn zeta(&self) -> f32 {
+        self.zeta
+    }
+}
+
+impl FederatedAlgorithm for FedProx {
+    fn name(&self) -> &'static str {
+        "FedProx"
+    }
+
+    fn local_rule(&self, _client: usize, global: &[f32]) -> LocalRule {
+        LocalRule::Prox {
+            lambda: self.zeta,
+            anchor: global.to_vec(),
+        }
+    }
+
+    fn aggregate(
+        &mut self,
+        global: &[f32],
+        updates: &[ClientUpdate],
+        hyper: &HyperParams,
+    ) -> Vec<f32> {
+        fedavg_step(global, updates, hyper, self.weighting)
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile {
+            grads_per_step: 1,
+            extra_vector_ops: 2, // subtract anchor, axpy into gradient
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_anchors_at_global() {
+        let alg = FedProx::new(0.1);
+        let rule = alg.local_rule(0, &[1.0, 2.0]);
+        match rule {
+            LocalRule::Prox { lambda, anchor } => {
+                assert_eq!(lambda, 0.1);
+                assert_eq!(anchor, vec![1.0, 2.0]);
+            }
+            other => panic!("unexpected rule {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_zeta_panics() {
+        let _ = FedProx::new(-1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! FoolsGold (Fung et al.) — aggregation calibration.
+
+use crate::algorithm::{CostProfile, FederatedAlgorithm};
+use crate::hyper::HyperParams;
+use crate::update::{ClientUpdate, LocalRule};
+use taco_tensor::ops;
+
+/// FoolsGold as restated by the paper (Algorithm 1, line 10): no local
+/// correction, but aggregation weights
+/// `ρ_i = cos(Δ_{t+1}, Δ_i)` — the similarity between each client's
+/// accumulated gradient and the aggregated direction.
+///
+/// Since `Δ_{t+1}` is not available before aggregating, `ρ_i` is
+/// computed against the unweighted mean of the round's uploads (the
+/// same bootstrap the original FoolsGold uses for its reference
+/// direction). Weights are floored at a small positive value so a
+/// round where every client disagrees with the mean still aggregates.
+///
+/// Note on scaling: Algorithm 1's line 10 reads
+/// `Δ_{t+1} = 1/(K·N·η_l) Σ ρ_i Δ_i / Σ ρ_i`, whose extra `1/N`
+/// would shrink the update `N`-fold relative to every other algorithm
+/// in the same table; consistent with the original FoolsGold (and with
+/// the paper's own experiments, where FoolsGold tracks FedAvg closely)
+/// we read the ρ-normalized sum as the weighted mean and scale by
+/// `1/(K·η_l)`.
+#[derive(Debug, Clone, Default)]
+pub struct FoolsGold {
+    last_weights: Vec<f32>,
+}
+
+impl FoolsGold {
+    /// Creates FoolsGold.
+    pub fn new() -> Self {
+        FoolsGold::default()
+    }
+
+    /// The aggregation weights used in the most recent round
+    /// (diagnostics for tests and reports).
+    pub fn last_weights(&self) -> &[f32] {
+        &self.last_weights
+    }
+}
+
+impl FederatedAlgorithm for FoolsGold {
+    fn name(&self) -> &'static str {
+        "FoolsGold"
+    }
+
+    fn local_rule(&self, _client: usize, _global: &[f32]) -> LocalRule {
+        LocalRule::PlainSgd
+    }
+
+    fn aggregate(
+        &mut self,
+        global: &[f32],
+        updates: &[ClientUpdate],
+        hyper: &HyperParams,
+    ) -> Vec<f32> {
+        assert!(!updates.is_empty(), "aggregate with no updates");
+        let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
+        let mean = ops::mean_of(&deltas);
+        let weights: Vec<f32> = deltas
+            .iter()
+            .map(|d| ops::cosine_similarity(d, &mean).max(1e-3))
+            .collect();
+        self.last_weights = weights.clone();
+        let agg = ops::weighted_mean(&deltas, &weights);
+        let scale = hyper.eta_g / hyper.k_eta_l();
+        let mut next = global.to_vec();
+        ops::axpy(&mut next, -scale, &agg);
+        next
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        // All extra work is server-side; clients run plain SGD.
+        CostProfile {
+            grads_per_step: 1,
+            extra_vector_ops: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(client: usize, delta: Vec<f32>) -> ClientUpdate {
+        ClientUpdate {
+            client,
+            delta,
+            num_samples: 1,
+            final_v: None,
+            mean_loss: 0.0,
+            grad_evals: 0,
+            steps: 1,
+            compute_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn outlier_gets_downweighted() {
+        let mut alg = FoolsGold::new();
+        let hyper = HyperParams::new(3, 1, 1.0, 1);
+        let updates = vec![
+            upd(0, vec![1.0, 1.0]),
+            upd(1, vec![1.0, 0.9]),
+            upd(2, vec![-1.0, -1.0]), // pulls against the federation
+        ];
+        let _ = alg.aggregate(&[0.0, 0.0], &updates, &hyper);
+        let w = alg.last_weights();
+        assert!(w[0] > w[2] && w[1] > w[2], "outlier not downweighted: {w:?}");
+        assert!(w[2] <= 1e-3 + f32::EPSILON);
+    }
+
+    #[test]
+    fn agrees_with_mean_when_clients_agree() {
+        let mut alg = FoolsGold::new();
+        let hyper = HyperParams::new(2, 1, 1.0, 1);
+        let updates = vec![upd(0, vec![0.5, 0.5]), upd(1, vec![0.5, 0.5])];
+        let next = alg.aggregate(&[1.0, 1.0], &updates, &hyper);
+        assert!((next[0] - 0.5).abs() < 1e-6);
+        assert!((next[1] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,205 @@
+//! SCAFFOLD (Karimireddy et al.) — control-variate correction.
+
+use crate::algorithm::{fedavg_step, AggWeighting, CostProfile, FederatedAlgorithm};
+use crate::hyper::HyperParams;
+use crate::update::{ClientUpdate, LocalRule};
+use taco_tensor::ops;
+
+/// SCAFFOLD: every local step adds the control-variate shift
+/// `α(c_t − c_i^t)` (Algorithm 1, line 6), where
+///
+/// - `c_i^t = c_i^{t−1} − c_{t−1} + Δ_i^{t−1} / (K·η_l)` is client
+///   `i`'s control variate, and
+/// - `c_t = c_{t−1} + (1/N) Σ_i (c_i^t − c_i^{t−1})` is the server's.
+///
+/// The coefficient `α` is **uniform across clients** (the paper keeps
+/// `α = 1`, the original work's setting) — over-correcting clients
+/// whose drift is small, which is the instability Section III-B and
+/// Fig. 2 attribute to SCAFFOLD.
+#[derive(Debug, Clone)]
+pub struct Scaffold {
+    alpha: f32,
+    /// Server control variate `c_t`; lazily sized on first round.
+    c_global: Vec<f32>,
+    /// Per-client control variates `c_i^t`.
+    c_clients: Vec<Vec<f32>>,
+    weighting: AggWeighting,
+}
+
+impl Scaffold {
+    /// Creates SCAFFOLD for `num_clients` clients with coefficient
+    /// `α` (the paper uses 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative/not finite or `num_clients` is 0.
+    pub fn new(num_clients: usize, alpha: f32) -> Self {
+        assert!(num_clients > 0, "need at least one client");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be non-negative and finite, got {alpha}"
+        );
+        Scaffold {
+            alpha,
+            c_global: Vec::new(),
+            c_clients: vec![Vec::new(); num_clients],
+            weighting: AggWeighting::Uniform,
+        }
+    }
+
+    /// The uniform correction coefficient `α`.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Client `i`'s control variate (diagnostics).
+    pub fn client_variate(&self, i: usize) -> &[f32] {
+        &self.c_clients[i]
+    }
+
+    fn ensure_dim(&mut self, dim: usize) {
+        if self.c_global.len() != dim {
+            self.c_global = vec![0.0; dim];
+            for c in &mut self.c_clients {
+                *c = vec![0.0; dim];
+            }
+        }
+    }
+}
+
+impl FederatedAlgorithm for Scaffold {
+    fn name(&self) -> &'static str {
+        "Scaffold"
+    }
+
+    fn begin_round(&mut self, _round: usize, global: &[f32]) {
+        self.ensure_dim(global.len());
+    }
+
+    fn local_rule(&self, client: usize, global: &[f32]) -> LocalRule {
+        if self.c_global.len() != global.len() {
+            // First round before any aggregation: zero variates.
+            return LocalRule::PlainSgd;
+        }
+        let term: Vec<f32> = self
+            .c_global
+            .iter()
+            .zip(&self.c_clients[client])
+            .map(|(&c, &ci)| self.alpha * (c - ci))
+            .collect();
+        LocalRule::Correction { term }
+    }
+
+    fn aggregate(
+        &mut self,
+        global: &[f32],
+        updates: &[ClientUpdate],
+        hyper: &HyperParams,
+    ) -> Vec<f32> {
+        self.ensure_dim(global.len());
+        // Control-variate updates (paper's formulas, Section III-A).
+        let mut mean_shift = vec![0.0f32; global.len()];
+        let n = self.c_clients.len() as f32;
+        for u in updates {
+            let old = self.c_clients[u.client].clone();
+            let mut new = old.clone();
+            for j in 0..new.len() {
+                new[j] = old[j] - self.c_global[j] + u.delta[j] / hyper.k_eta_l();
+            }
+            for j in 0..new.len() {
+                mean_shift[j] += (new[j] - old[j]) / n;
+            }
+            self.c_clients[u.client] = new;
+        }
+        ops::axpy(&mut self.c_global, 1.0, &mean_shift);
+        fedavg_step(global, updates, hyper, self.weighting)
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile {
+            grads_per_step: 1,
+            extra_vector_ops: 1, // add the (precomputed) correction term
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(client: usize, delta: Vec<f32>) -> ClientUpdate {
+        ClientUpdate {
+            client,
+            delta,
+            num_samples: 1,
+            final_v: None,
+            mean_loss: 0.0,
+            grad_evals: 0,
+            steps: 1,
+            compute_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn first_round_rule_is_plain_sgd() {
+        let alg = Scaffold::new(2, 1.0);
+        assert_eq!(alg.local_rule(0, &[0.0, 0.0]), LocalRule::PlainSgd);
+    }
+
+    #[test]
+    fn variates_track_relative_drift() {
+        let mut alg = Scaffold::new(2, 1.0);
+        let hyper = HyperParams::new(2, 1, 1.0, 1); // K·η_l = 1
+        alg.begin_round(0, &[0.0, 0.0]);
+        let _ = alg.aggregate(
+            &[0.0, 0.0],
+            &[upd(0, vec![1.0, 0.0]), upd(1, vec![0.0, 1.0])],
+            &hyper,
+        );
+        // c_i = Δ_i (c and c_i start at 0); c = mean = [0.5, 0.5].
+        assert_eq!(alg.client_variate(0), &[1.0, 0.0]);
+        assert_eq!(alg.client_variate(1), &[0.0, 1.0]);
+        // The next round's correction for client 0 is c − c_0 =
+        // [-0.5, 0.5]: pushes it toward the federation mean.
+        alg.begin_round(1, &[0.0, 0.0]);
+        match alg.local_rule(0, &[0.0, 0.0]) {
+            LocalRule::Correction { term } => {
+                assert!((term[0] + 0.5).abs() < 1e-6);
+                assert!((term[1] - 0.5).abs() < 1e-6);
+            }
+            other => panic!("unexpected rule {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_clients_get_zero_correction() {
+        let mut alg = Scaffold::new(2, 1.0);
+        let hyper = HyperParams::new(2, 1, 1.0, 1);
+        alg.begin_round(0, &[0.0]);
+        let _ = alg.aggregate(&[0.0], &[upd(0, vec![0.7]), upd(1, vec![0.7])], &hyper);
+        match alg.local_rule(0, &[0.0]) {
+            LocalRule::Correction { term } => assert!(term[0].abs() < 1e-6),
+            other => panic!("unexpected rule {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alpha_scales_the_term() {
+        let mut a1 = Scaffold::new(2, 1.0);
+        let mut a2 = Scaffold::new(2, 0.5);
+        let hyper = HyperParams::new(2, 1, 1.0, 1);
+        for alg in [&mut a1, &mut a2] {
+            alg.begin_round(0, &[0.0]);
+            let _ = alg.aggregate(&[0.0], &[upd(0, vec![1.0]), upd(1, vec![0.0])], &hyper);
+        }
+        let t1 = match a1.local_rule(0, &[0.0]) {
+            LocalRule::Correction { term } => term[0],
+            _ => unreachable!(),
+        };
+        let t2 = match a2.local_rule(0, &[0.0]) {
+            LocalRule::Correction { term } => term[0],
+            _ => unreachable!(),
+        };
+        assert!((t1 - 2.0 * t2).abs() < 1e-6, "{t1} vs {t2}");
+    }
+}

@@ -1,0 +1,381 @@
+//! The client-side local update loop (Algorithm 1 lines 3–8 /
+//! Algorithm 2 lines 3–7 of the paper).
+//!
+//! Every algorithm's local behaviour is expressed as a [`LocalRule`]
+//! value interpreted by [`run_local_steps`], so the seven algorithms
+//! share one loop and differ only in the effective gradient
+//! `v_{i,k}` they apply at each step.
+
+use taco_data::Dataset;
+use taco_nn::Model;
+use taco_tensor::{ops, Prng};
+
+/// The effective-gradient rule a client applies at each local step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalRule {
+    /// `v = g` — FedAvg, FoolsGold.
+    PlainSgd,
+    /// `v = g + lambda · (w − anchor)` — the gradient of an L2
+    /// proximal term `(λ/2)‖w − anchor‖²`. FedProx uses
+    /// `anchor = w_t`; FedACG uses `anchor = w_t + m_t`.
+    Prox {
+        /// Regularization strength (`ζ` in FedProx, `β` in FedACG).
+        lambda: f32,
+        /// Proximal anchor point.
+        anchor: Vec<f32>,
+    },
+    /// `v = g + term` — a correction vector held constant across the
+    /// round. SCAFFOLD uses `term = α(c_t − c_i^t)`; TACO uses
+    /// `term = γ(1−α_i^t)Δ_t` (Eq. 8).
+    Correction {
+        /// The additive correction vector.
+        term: Vec<f32>,
+    },
+    /// STEM's recursive two-gradient momentum:
+    /// `v_{i,k} = g_{i,k} + (1−α)(v_{i,k−1} − ∇f_i(w_{i,k−1}, ξ_{i,k}))`.
+    /// Costs **two** gradient evaluations per step, which is the
+    /// source of STEM's Table I / Fig. 5 compute overhead.
+    StemMomentum {
+        /// The momentum mixing coefficient `α_t`.
+        alpha: f32,
+    },
+    /// `v = g + lambda·(w − anchor) + term` — a proximal pull plus a
+    /// constant linear correction, the shape of FedDyn's dynamic
+    /// regularizer (`term = −h_i^{t−1}`).
+    ProxCorrection {
+        /// Proximal strength.
+        lambda: f32,
+        /// Proximal anchor point.
+        anchor: Vec<f32>,
+        /// Constant additive correction.
+        term: Vec<f32>,
+    },
+}
+
+impl LocalRule {
+    /// Gradient evaluations per local step under this rule.
+    pub fn grads_per_step(&self) -> usize {
+        match self {
+            LocalRule::StemMomentum { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// The result of one client's `K` local steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalOutcome {
+    /// Accumulated local gradient `Δ_i^t = w_{i,0} − w_{i,K}` (Eq. 5),
+    /// in parameter units.
+    pub delta: Vec<f32>,
+    /// STEM's final momentum `v_{i,K−1}` (gradient units); `None` for
+    /// other rules.
+    pub final_v: Option<Vec<f32>>,
+    /// Mean mini-batch loss over the `K` steps.
+    pub mean_loss: f32,
+    /// Total gradient evaluations performed (cost-model input).
+    pub grad_evals: usize,
+    /// The number of local SGD steps actually taken (`τ_i`; FedNova's
+    /// normalized averaging divides by it under system heterogeneity).
+    pub steps: usize,
+}
+
+/// What a client uploads to the parameter server after local training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientUpdate {
+    /// The uploading client's id.
+    pub client: usize,
+    /// Accumulated local gradient `Δ_i^t` (parameter units).
+    pub delta: Vec<f32>,
+    /// Local dataset size `D_i` (for data-weighted aggregation).
+    pub num_samples: usize,
+    /// STEM's `v_{i,K−1}` when applicable.
+    pub final_v: Option<Vec<f32>>,
+    /// Mean local training loss this round.
+    pub mean_loss: f32,
+    /// Gradient evaluations spent this round.
+    pub grad_evals: usize,
+    /// Local SGD steps actually taken this round (`τ_i`).
+    pub steps: usize,
+    /// Measured local compute time in seconds (filled by the
+    /// simulator; algorithms must not read it).
+    pub compute_seconds: f64,
+}
+
+impl ClientUpdate {
+    /// Builds an update from a client id, dataset size and local
+    /// outcome.
+    pub fn from_outcome(client: usize, num_samples: usize, outcome: LocalOutcome) -> Self {
+        ClientUpdate {
+            client,
+            delta: outcome.delta,
+            num_samples,
+            final_v: outcome.final_v,
+            mean_loss: outcome.mean_loss,
+            grad_evals: outcome.grad_evals,
+            steps: outcome.steps,
+            compute_seconds: 0.0,
+        }
+    }
+}
+
+/// Runs `K` local mini-batch SGD steps under `rule`, starting from the
+/// model's current parameters, and returns the accumulated local
+/// gradient (Eq. 4–5 of the paper).
+///
+/// The model is left at the post-training parameters `w_{i,K}`.
+///
+/// # Panics
+///
+/// Panics if `steps`, `batch_size` are zero, the dataset is empty, or
+/// a rule vector's length differs from the model's parameter count.
+pub fn run_local_steps(
+    model: &mut dyn Model,
+    data: &Dataset,
+    rule: &LocalRule,
+    steps: usize,
+    eta_l: f32,
+    batch_size: usize,
+    rng: &mut Prng,
+) -> LocalOutcome {
+    assert!(steps > 0, "need at least one local step");
+    let mut w = model.params();
+    let dim = w.len();
+    if let LocalRule::Prox { anchor, .. } = rule {
+        assert_eq!(anchor.len(), dim, "prox anchor length mismatch");
+    }
+    if let LocalRule::Correction { term } = rule {
+        assert_eq!(term.len(), dim, "correction term length mismatch");
+    }
+    if let LocalRule::ProxCorrection { anchor, term, .. } = rule {
+        assert_eq!(anchor.len(), dim, "prox anchor length mismatch");
+        assert_eq!(term.len(), dim, "correction term length mismatch");
+    }
+    let w0 = w.clone();
+    let mut loss_sum = 0.0f64;
+    let mut grad_evals = 0usize;
+    let mut prev_w: Vec<f32> = Vec::new();
+    let mut prev_v: Vec<f32> = Vec::new();
+    for k in 0..steps {
+        let batch = data.sample_batch(batch_size, rng);
+        let (loss, g) = model.loss_and_grad(&batch);
+        grad_evals += 1;
+        loss_sum += loss as f64;
+        let v = match rule {
+            LocalRule::PlainSgd => g,
+            LocalRule::Prox { lambda, anchor } => {
+                let mut v = g;
+                for i in 0..dim {
+                    v[i] += lambda * (w[i] - anchor[i]);
+                }
+                v
+            }
+            LocalRule::Correction { term } => {
+                let mut v = g;
+                ops::axpy(&mut v, 1.0, term);
+                v
+            }
+            LocalRule::ProxCorrection {
+                lambda,
+                anchor,
+                term,
+            } => {
+                let mut v = g;
+                for i in 0..dim {
+                    v[i] += lambda * (w[i] - anchor[i]) + term[i];
+                }
+                v
+            }
+            LocalRule::StemMomentum { alpha } => {
+                if k == 0 {
+                    g
+                } else {
+                    // Second gradient: same batch, previous iterate.
+                    model.set_params(&prev_w);
+                    let (_, g_prev) = model.loss_and_grad(&batch);
+                    model.set_params(&w);
+                    grad_evals += 1;
+                    let mut v = g;
+                    for i in 0..dim {
+                        v[i] += (1.0 - alpha) * (prev_v[i] - g_prev[i]);
+                    }
+                    v
+                }
+            }
+        };
+        if matches!(rule, LocalRule::StemMomentum { .. }) {
+            prev_w = w.clone();
+            prev_v = v.clone();
+        }
+        ops::axpy(&mut w, -eta_l, &v);
+        model.set_params(&w);
+    }
+    let delta = ops::sub(&w0, &w);
+    LocalOutcome {
+        delta,
+        final_v: if matches!(rule, LocalRule::StemMomentum { .. }) {
+            Some(prev_v)
+        } else {
+            None
+        },
+        mean_loss: (loss_sum / steps as f64) as f32,
+        grad_evals,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_nn::Mlp;
+
+    fn fixture() -> (Mlp, Dataset, Prng) {
+        let mut rng = Prng::seed_from_u64(3);
+        let model = Mlp::new(4, &[6], 3, &mut rng);
+        let n = 30;
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            for j in 0..4 {
+                features.push(c as f32 - 1.0 + 0.3 * rng.normal_f32() + j as f32 * 0.0);
+            }
+            labels.push(c);
+        }
+        let data = Dataset::new(features, labels, &[4], 3);
+        (model, data, rng)
+    }
+
+    #[test]
+    fn delta_is_w0_minus_wk() {
+        let (mut model, data, mut rng) = fixture();
+        let w0 = model.params();
+        let out = run_local_steps(&mut model, &data, &LocalRule::PlainSgd, 5, 0.05, 4, &mut rng);
+        let wk = model.params();
+        for i in 0..w0.len() {
+            assert!((out.delta[i] - (w0[i] - wk[i])).abs() < 1e-6);
+        }
+        assert_eq!(out.grad_evals, 5);
+        assert!(out.final_v.is_none());
+    }
+
+    #[test]
+    fn prox_pulls_toward_anchor() {
+        let (mut model, data, mut rng) = fixture();
+        let anchor = model.params();
+        // A huge lambda should keep the iterate glued to the anchor.
+        let out = run_local_steps(
+            &mut model,
+            &data,
+            &LocalRule::Prox {
+                lambda: 1000.0,
+                anchor: anchor.clone(),
+            },
+            10,
+            0.0005,
+            4,
+            &mut rng,
+        );
+        let free_drift = {
+            let (mut m2, data, mut rng) = fixture();
+            let o = run_local_steps(&mut m2, &data, &LocalRule::PlainSgd, 10, 0.0005, 4, &mut rng);
+            ops::norm(&o.delta)
+        };
+        assert!(
+            ops::norm(&out.delta) < free_drift,
+            "prox did not restrain drift"
+        );
+    }
+
+    #[test]
+    fn correction_term_steers_update() {
+        let (mut model, data, mut rng) = fixture();
+        let dim = model.param_count();
+        // A large constant correction dominates the tiny gradient of a
+        // 1-step run; Δ should align with it.
+        let term = vec![10.0f32; dim];
+        let out = run_local_steps(
+            &mut model,
+            &data,
+            &LocalRule::Correction { term: term.clone() },
+            1,
+            0.01,
+            4,
+            &mut rng,
+        );
+        let cos = ops::cosine_similarity(&out.delta, &term);
+        assert!(cos > 0.99, "delta not aligned with correction: cos {cos}");
+    }
+
+    #[test]
+    fn stem_costs_two_grads_per_step_after_first() {
+        let (mut model, data, mut rng) = fixture();
+        let out = run_local_steps(
+            &mut model,
+            &data,
+            &LocalRule::StemMomentum { alpha: 0.2 },
+            5,
+            0.05,
+            4,
+            &mut rng,
+        );
+        assert_eq!(out.grad_evals, 5 + 4);
+        assert!(out.final_v.is_some());
+        assert_eq!(out.final_v.as_ref().map(Vec::len), Some(out.delta.len()));
+    }
+
+    #[test]
+    fn stem_with_alpha_one_matches_sgd() {
+        // α = 1 kills the momentum term, so STEM degenerates to SGD
+        // (same batches via the same seed).
+        let (mut m1, data, mut r1) = fixture();
+        let o1 = run_local_steps(
+            &mut m1,
+            &data,
+            &LocalRule::StemMomentum { alpha: 1.0 },
+            4,
+            0.05,
+            4,
+            &mut r1,
+        );
+        let (mut m2, data2, mut r2) = fixture();
+        let o2 = run_local_steps(&mut m2, &data2, &LocalRule::PlainSgd, 4, 0.05, 4, &mut r2);
+        for (a, b) in o1.delta.iter().zip(&o2.delta) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (mut model, data, mut rng) = fixture();
+        let eval = data.eval_batches(16);
+        let (l0, _) = taco_nn::evaluate(&mut model, &eval);
+        let _ = run_local_steps(&mut model, &data, &LocalRule::PlainSgd, 60, 0.1, 8, &mut rng);
+        let (l1, _) = taco_nn::evaluate(&mut model, &eval);
+        assert!(l1 < l0, "local SGD failed to learn: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn grads_per_step_profile() {
+        assert_eq!(LocalRule::PlainSgd.grads_per_step(), 1);
+        assert_eq!(LocalRule::StemMomentum { alpha: 0.1 }.grads_per_step(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor length mismatch")]
+    fn bad_anchor_length_panics() {
+        let (mut model, data, mut rng) = fixture();
+        let _ = run_local_steps(
+            &mut model,
+            &data,
+            &LocalRule::Prox {
+                lambda: 0.1,
+                anchor: vec![0.0; 3],
+            },
+            1,
+            0.1,
+            2,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Synthetic tabular dataset standing in for `adult`.
+//!
+//! `adult` (census income) is a 14-feature binary-classification task.
+//! The equivalent here is a two-component Gaussian mixture: a handful
+//! of informative dimensions whose means depend on the label, the rest
+//! nuisance noise, plus a nonlinear interaction feature so a linear
+//! model cannot saturate the task and the MLP has something to learn.
+
+use crate::dataset::{Dataset, TrainTest};
+use taco_tensor::Prng;
+
+/// Parameters of the synthetic tabular dataset.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TabularSpec {
+    /// Dataset name used in reports.
+    pub name: String,
+    /// Total feature count.
+    pub features: usize,
+    /// Number of informative (label-dependent) features.
+    pub informative: usize,
+    /// Class count (adult is binary).
+    pub classes: usize,
+    /// Training sample count.
+    pub train_n: usize,
+    /// Test sample count.
+    pub test_n: usize,
+    /// Distance between class means on informative features.
+    pub separation: f32,
+    /// Fraction of labels flipped uniformly at random (irreducible
+    /// error, keeping accuracy away from 100% as with the real
+    /// `adult` task).
+    pub label_noise: f64,
+}
+
+impl TabularSpec {
+    /// The `adult`-equivalent preset: 14 features, 2 classes.
+    pub fn adult_like() -> Self {
+        TabularSpec {
+            name: "adult".into(),
+            features: 14,
+            informative: 6,
+            classes: 2,
+            train_n: 2000,
+            test_n: 500,
+            separation: 0.7,
+            label_noise: 0.08,
+        }
+    }
+
+    /// Overrides the train/test sizes (builder style).
+    pub fn with_sizes(mut self, train_n: usize, test_n: usize) -> Self {
+        self.train_n = train_n;
+        self.test_n = test_n;
+        self
+    }
+}
+
+/// Generates a train/test pair for the given spec.
+///
+/// # Panics
+///
+/// Panics if `informative > features` or `classes == 0`.
+pub fn generate(spec: &TabularSpec, rng: &mut Prng) -> TrainTest {
+    assert!(
+        spec.informative <= spec.features,
+        "informative {} > features {}",
+        spec.informative,
+        spec.features
+    );
+    assert!(spec.classes > 0, "need at least one class");
+    // Per-class mean vectors on the informative block: a deterministic
+    // ±separation sign pattern (so classes are guaranteed separated)
+    // plus a small random jitter (so runs with different seeds are not
+    // identical tasks).
+    let mut mean_rng = rng.split(0xAD);
+    let means: Vec<Vec<f32>> = (0..spec.classes)
+        .map(|class| {
+            (0..spec.informative)
+                .map(|j| {
+                    let sign = if (class + j) % 2 == 0 { 1.0 } else { -1.0 };
+                    sign * spec.separation + 0.2 * mean_rng.normal_f32()
+                })
+                .collect()
+        })
+        .collect();
+    assert!(
+        (0.0..1.0).contains(&spec.label_noise),
+        "label_noise must be in [0, 1)"
+    );
+    let make = |n: usize, rng: &mut Prng| -> Dataset {
+        let mut features = Vec::with_capacity(n * spec.features);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % spec.classes;
+            let m = &means[class];
+            let mut row = Vec::with_capacity(spec.features);
+            for j in 0..spec.informative {
+                row.push(m[j] + rng.normal_f32());
+            }
+            for _ in spec.informative..spec.features {
+                row.push(rng.normal_f32());
+            }
+            // Nonlinear interaction: product of the first two
+            // informative features replaces the last nuisance slot.
+            if spec.features > spec.informative && spec.informative >= 2 {
+                let last = spec.features - 1;
+                row[last] = (row[0] * row[1]).tanh();
+            }
+            features.extend_from_slice(&row);
+            // Irreducible label noise.
+            let label = if spec.label_noise > 0.0 && rng.uniform_f64() < spec.label_noise {
+                rng.below(spec.classes)
+            } else {
+                class
+            };
+            labels.push(label);
+        }
+        Dataset::new(features, labels, &[spec.features], spec.classes)
+    };
+    let train = make(spec.train_n, rng);
+    let test = make(spec.test_n, rng);
+    TrainTest { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let mut rng = Prng::seed_from_u64(1);
+        let tt = generate(&TabularSpec::adult_like().with_sizes(100, 40), &mut rng);
+        assert_eq!(tt.train.len(), 100);
+        assert_eq!(tt.train.sample_dims(), &[14]);
+        assert_eq!(tt.train.classes(), 2);
+        assert_eq!(tt.test.len(), 40);
+    }
+
+    #[test]
+    fn informative_features_separate_classes() {
+        let mut rng = Prng::seed_from_u64(2);
+        let spec = TabularSpec::adult_like().with_sizes(400, 10);
+        let tt = generate(&spec, &mut rng);
+        // Mean of informative feature 0 should differ between classes.
+        let mut sums = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for i in 0..tt.train.len() {
+            let l = tt.train.labels()[i];
+            sums[l] += tt.train.sample(i)[0] as f64;
+            counts[l] += 1;
+        }
+        let d = (sums[0] / counts[0] as f64 - sums[1] / counts[1] as f64).abs();
+        assert!(d > 0.3, "class means too close: {d}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = TabularSpec::adult_like().with_sizes(50, 10);
+        let a = generate(&spec, &mut Prng::seed_from_u64(7));
+        let b = generate(&spec, &mut Prng::seed_from_u64(7));
+        assert_eq!(a.train, b.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "informative")]
+    fn bad_spec_panics() {
+        let mut spec = TabularSpec::adult_like();
+        spec.informative = 99;
+        let _ = generate(&spec, &mut Prng::seed_from_u64(0));
+    }
+}

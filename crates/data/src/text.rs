@@ -1,0 +1,190 @@
+//! Synthetic next-symbol text data standing in for LEAF Shakespeare.
+//!
+//! LEAF's Shakespeare task assigns each speaking role to one client and
+//! predicts the next character of that role's lines — clients are
+//! non-IID *by construction* because every role has its own style. The
+//! equivalent here: every client owns a first-order Markov chain over a
+//! shared alphabet, built as a mixture of one global chain and a
+//! client-specific random chain. The mixture weight controls how
+//! non-IID the federation is. Samples are windows of `seq_len` symbols
+//! with the following symbol as the target.
+
+use crate::dataset::Dataset;
+use crate::federated::FederatedDataset;
+use taco_tensor::Prng;
+
+/// Parameters of the synthetic text corpus.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TextSpec {
+    /// Dataset name used in reports.
+    pub name: String,
+    /// Alphabet size (LEAF Shakespeare uses a small character set).
+    pub vocab: usize,
+    /// Input window length.
+    pub seq_len: usize,
+    /// Number of clients (one "role" each).
+    pub clients: usize,
+    /// Training windows per client.
+    pub train_per_client: usize,
+    /// Test windows drawn from the global chain.
+    pub test_n: usize,
+    /// Weight of the client-specific chain in the mixture
+    /// (0 = IID across clients, 1 = fully client-specific).
+    pub style_weight: f64,
+}
+
+impl TextSpec {
+    /// The Shakespeare-equivalent preset: 28-symbol alphabet, length-16
+    /// windows, strongly client-specific styles.
+    pub fn shakespeare_like(clients: usize) -> Self {
+        TextSpec {
+            name: "shakespeare".into(),
+            vocab: 28,
+            seq_len: 16,
+            clients,
+            train_per_client: 100,
+            test_n: 400,
+            style_weight: 0.6,
+        }
+    }
+
+    /// Overrides the per-client/test sizes (builder style).
+    pub fn with_sizes(mut self, train_per_client: usize, test_n: usize) -> Self {
+        self.train_per_client = train_per_client;
+        self.test_n = test_n;
+        self
+    }
+}
+
+/// A row-stochastic transition matrix over the alphabet.
+fn random_chain(vocab: usize, rng: &mut Prng) -> Vec<Vec<f64>> {
+    (0..vocab)
+        .map(|_| {
+            // Sparse-ish rows: a peaky Dirichlet makes chains distinctive.
+            rng.dirichlet(0.3, vocab)
+        })
+        .collect()
+}
+
+fn mix(global: &[Vec<f64>], local: &[Vec<f64>], w: f64) -> Vec<Vec<f64>> {
+    global
+        .iter()
+        .zip(local)
+        .map(|(g, l)| {
+            g.iter()
+                .zip(l)
+                .map(|(&gv, &lv)| (1.0 - w) * gv + w * lv)
+                .collect()
+        })
+        .collect()
+}
+
+/// Emits `windows` (sequence, next-symbol) pairs from a chain.
+fn emit(
+    chain: &[Vec<f64>],
+    vocab: usize,
+    seq_len: usize,
+    windows: usize,
+    rng: &mut Prng,
+) -> Dataset {
+    let mut features = Vec::with_capacity(windows * seq_len);
+    let mut labels = Vec::with_capacity(windows);
+    let mut state = rng.below(vocab);
+    for _ in 0..windows {
+        for _ in 0..seq_len {
+            features.push(state as f32);
+            state = rng.categorical(&chain[state]);
+        }
+        labels.push(state);
+        // The next window continues the stream (overlapping text, like
+        // sliding windows over a play).
+    }
+    Dataset::new(features, labels, &[seq_len], vocab)
+}
+
+/// Generates a federated text corpus: one shard per client (its own
+/// style) plus a global test set drawn from the shared chain.
+pub fn generate(spec: &TextSpec, rng: &mut Prng) -> FederatedDataset {
+    assert!(spec.vocab > 1, "vocab must exceed 1");
+    assert!(spec.clients > 0, "need at least one client");
+    let mut chain_rng = rng.split(0x7E);
+    let global = random_chain(spec.vocab, &mut chain_rng);
+    let mut shards = Vec::with_capacity(spec.clients);
+    for c in 0..spec.clients {
+        let local = random_chain(spec.vocab, &mut chain_rng);
+        let mixed = mix(&global, &local, spec.style_weight);
+        let mut client_rng = rng.split(0x1000 + c as u64);
+        shards.push(emit(
+            &mixed,
+            spec.vocab,
+            spec.seq_len,
+            spec.train_per_client,
+            &mut client_rng,
+        ));
+    }
+    let mut test_rng = rng.split(0x2000);
+    let test = emit(&global, spec.vocab, spec.seq_len, spec.test_n, &mut test_rng);
+    FederatedDataset::new(shards, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_vocab() {
+        let mut rng = Prng::seed_from_u64(1);
+        let spec = TextSpec::shakespeare_like(4).with_sizes(30, 50);
+        let fed = generate(&spec, &mut rng);
+        assert_eq!(fed.num_clients(), 4);
+        assert_eq!(fed.client(0).len(), 30);
+        assert_eq!(fed.test().len(), 50);
+        assert_eq!(fed.client(0).sample_dims(), &[16]);
+        // Symbols stay in range.
+        for i in 0..fed.client(1).len() {
+            for &s in fed.client(1).sample(i) {
+                assert!((s as usize) < 28);
+            }
+        }
+    }
+
+    #[test]
+    fn chains_are_row_stochastic() {
+        let mut rng = Prng::seed_from_u64(2);
+        let chain = random_chain(10, &mut rng);
+        for row in &chain {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clients_have_distinct_label_distributions() {
+        let mut rng = Prng::seed_from_u64(3);
+        let spec = TextSpec::shakespeare_like(3).with_sizes(200, 10);
+        let fed = generate(&spec, &mut rng);
+        let h0 = fed.client(0).class_histogram();
+        let h1 = fed.client(1).class_histogram();
+        // Styles differ, so the next-symbol distributions should be
+        // well separated in total-variation distance.
+        let n0: f64 = h0.iter().sum::<usize>() as f64;
+        let n1: f64 = h1.iter().sum::<usize>() as f64;
+        let tv: f64 = h0
+            .iter()
+            .zip(&h1)
+            .map(|(&a, &b)| (a as f64 / n0 - b as f64 / n1).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv > 0.15, "client styles too similar: tv {tv}");
+        let _ = spec;
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = TextSpec::shakespeare_like(2).with_sizes(20, 10);
+        let a = generate(&spec, &mut Prng::seed_from_u64(5));
+        let b = generate(&spec, &mut Prng::seed_from_u64(5));
+        assert_eq!(a.client(0), b.client(0));
+        assert_eq!(a.test(), b.test());
+    }
+}

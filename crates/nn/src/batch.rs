@@ -1,0 +1,96 @@
+//! Mini-batch containers.
+
+use taco_tensor::Tensor;
+
+/// A supervised mini-batch: inputs plus one class label per sample.
+///
+/// The first input dimension is always the batch dimension. For image
+/// models the remaining dimensions are `[channels, height, width]`;
+/// for the LSTM the inputs are `[batch, seq_len]` symbol ids stored as
+/// `f32` (exact for ids below 2²⁴).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Batch {
+    inputs: Tensor,
+    targets: Vec<usize>,
+}
+
+impl Batch {
+    /// Creates a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of targets differs from the leading input
+    /// dimension, or the inputs have no batch dimension.
+    pub fn new(inputs: Tensor, targets: Vec<usize>) -> Self {
+        assert!(
+            inputs.shape().ndim() >= 1,
+            "batch inputs need a batch dimension"
+        );
+        assert_eq!(
+            inputs.dims()[0],
+            targets.len(),
+            "batch size mismatch: {} inputs vs {} targets",
+            inputs.dims()[0],
+            targets.len()
+        );
+        Batch { inputs, targets }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` if the batch has no samples.
+    ///
+    /// Cannot happen for batches built through [`Batch::new`] with a
+    /// positive batch dimension; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The input tensor (`[batch, ...]`).
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// The class labels, one per sample.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// Number of input features per sample.
+    pub fn sample_len(&self) -> usize {
+        self.inputs.len() / self.len()
+    }
+
+    /// The flat input features of sample `i`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        let n = self.sample_len();
+        &self.inputs.data()[i * n..(i + 1) * n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let b = Batch::new(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]),
+            vec![0, 1],
+        );
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.sample_len(), 3);
+        assert_eq!(b.sample(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(b.targets(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn target_count_mismatch_panics() {
+        let _ = Batch::new(Tensor::zeros([2, 3]), vec![0]);
+    }
+}

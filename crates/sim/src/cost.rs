@@ -1,0 +1,135 @@
+//! The analytic per-round compute model.
+//!
+//! Table I, Table III and Fig. 5 of the paper report *measured*
+//! client compute time. The simulator measures real wall-clock time of
+//! real gradient computations, but the measured ratios between
+//! algorithms should match simple arithmetic over each algorithm's
+//! [`CostProfile`] — STEM pays two gradients per step, FedProx/FedACG
+//! pay an extra parameter-length pull, and so on. This module encodes
+//! that arithmetic so the benchmark harness can cross-check measured
+//! against predicted overhead.
+
+use taco_core::CostProfile;
+
+/// Calibration constants for one (model, batch-size) workload.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Seconds per gradient evaluation (forward + backward on one
+    /// mini-batch).
+    pub seconds_per_grad: f64,
+    /// Seconds per parameter-length vector operation (AXPY-class).
+    pub seconds_per_vector_op: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model from calibration measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either constant is negative or not finite.
+    pub fn new(seconds_per_grad: f64, seconds_per_vector_op: f64) -> Self {
+        assert!(
+            seconds_per_grad.is_finite() && seconds_per_grad >= 0.0,
+            "seconds_per_grad must be non-negative"
+        );
+        assert!(
+            seconds_per_vector_op.is_finite() && seconds_per_vector_op >= 0.0,
+            "seconds_per_vector_op must be non-negative"
+        );
+        CostModel {
+            seconds_per_grad,
+            seconds_per_vector_op,
+        }
+    }
+
+    /// Predicted seconds for `local_steps` local updates under the
+    /// given profile.
+    pub fn round_seconds(&self, profile: &CostProfile, local_steps: usize) -> f64 {
+        local_steps as f64
+            * (profile.grads_per_step as f64 * self.seconds_per_grad
+                + profile.extra_vector_ops as f64 * self.seconds_per_vector_op
+                // The SGD parameter update itself.
+                + self.seconds_per_vector_op)
+    }
+
+    /// Predicted overhead of `profile` relative to a plain-SGD profile,
+    /// as a fraction (`0.23` = +23%). This is the quantity Table I
+    /// reports under each measured time.
+    pub fn overhead_vs_sgd(&self, profile: &CostProfile) -> f64 {
+        let sgd = CostProfile {
+            grads_per_step: 1,
+            extra_vector_ops: 0,
+        };
+        let base = self.round_seconds(&sgd, 1);
+        if base == 0.0 {
+            0.0
+        } else {
+            self.round_seconds(profile, 1) / base - 1.0
+        }
+    }
+}
+
+/// Measures `seconds_per_grad` for a model/dataset/batch-size workload
+/// by timing `trials` gradient evaluations.
+pub fn calibrate_grad_seconds(
+    model: &mut dyn taco_nn::Model,
+    data: &taco_data::Dataset,
+    batch_size: usize,
+    trials: usize,
+    rng: &mut taco_tensor::Prng,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let batch = data.sample_batch(batch_size, rng);
+    // Warm-up evaluation outside the timed region.
+    let _ = model.loss_and_grad(&batch);
+    let start = std::time::Instant::now();
+    for _ in 0..trials {
+        let _ = model.loss_and_grad(&batch);
+    }
+    start.elapsed().as_secs_f64() / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SGD: CostProfile = CostProfile {
+        grads_per_step: 1,
+        extra_vector_ops: 0,
+    };
+    const STEM: CostProfile = CostProfile {
+        grads_per_step: 2,
+        extra_vector_ops: 2,
+    };
+    const PROX: CostProfile = CostProfile {
+        grads_per_step: 1,
+        extra_vector_ops: 2,
+    };
+
+    #[test]
+    fn stem_costs_roughly_double() {
+        let m = CostModel::new(1.0, 0.01);
+        let over = m.overhead_vs_sgd(&STEM);
+        assert!(over > 0.9 && over < 1.1, "STEM overhead {over}");
+    }
+
+    #[test]
+    fn prox_overhead_is_small_but_positive() {
+        let m = CostModel::new(1.0, 0.05);
+        let over = m.overhead_vs_sgd(&PROX);
+        assert!(over > 0.0 && over < 0.2, "prox overhead {over}");
+    }
+
+    #[test]
+    fn round_seconds_scales_with_steps() {
+        let m = CostModel::new(0.5, 0.0);
+        assert_eq!(m.round_seconds(&SGD, 10), 5.0);
+        assert_eq!(m.round_seconds(&STEM, 10), 10.0);
+    }
+
+    #[test]
+    fn zero_cost_model_is_safe() {
+        let m = CostModel::new(0.0, 0.0);
+        assert_eq!(m.overhead_vs_sgd(&STEM), 0.0);
+    }
+}

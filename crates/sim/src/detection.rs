@@ -1,0 +1,102 @@
+//! Freeloader-detection scoring (Table VIII's TPR/FPR).
+
+use crate::freeloader::ClientBehavior;
+
+/// True-positive and false-positive rates of a detection run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectionScore {
+    /// `identified freeloaders / total freeloaders`; `1.0` when there
+    /// are no freeloaders (nothing to miss).
+    pub tpr: f64,
+    /// `misjudged benign clients / total benign clients`; `0.0` when
+    /// every client is a freeloader.
+    pub fpr: f64,
+}
+
+/// Scores expelled clients against ground-truth behaviours.
+///
+/// # Panics
+///
+/// Panics if any expelled index is out of range.
+pub fn score(expelled: &[usize], behaviors: &[ClientBehavior]) -> DetectionScore {
+    for &e in expelled {
+        assert!(e < behaviors.len(), "expelled client {e} out of range");
+    }
+    let total_free = behaviors.iter().filter(|b| b.is_freeloader()).count();
+    let total_benign = behaviors.len() - total_free;
+    let caught = expelled
+        .iter()
+        .filter(|&&e| behaviors[e].is_freeloader())
+        .count();
+    let misjudged = expelled.len() - caught;
+    DetectionScore {
+        tpr: if total_free == 0 {
+            1.0
+        } else {
+            caught as f64 / total_free as f64
+        },
+        fpr: if total_benign == 0 {
+            0.0
+        } else {
+            misjudged as f64 / total_benign as f64
+        },
+    }
+}
+
+impl std::fmt::Display for DetectionScore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TPR {:.1}% / FPR {:.2}%",
+            self.tpr * 100.0,
+            self.fpr * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freeloader::with_freeloaders;
+
+    #[test]
+    fn perfect_detection() {
+        let b = with_freeloaders(20, 8);
+        let expelled: Vec<usize> = (0..8).collect();
+        let s = score(&expelled, &b);
+        assert_eq!(s.tpr, 1.0);
+        assert_eq!(s.fpr, 0.0);
+    }
+
+    #[test]
+    fn missed_and_misjudged() {
+        let b = with_freeloaders(10, 4);
+        // Caught 2 of 4 freeloaders, misjudged 3 of 6 benign.
+        let expelled = vec![0, 1, 5, 6, 7];
+        let s = score(&expelled, &b);
+        assert!((s.tpr - 0.5).abs() < 1e-12);
+        assert!((s.fpr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_freeloaders_edge_case() {
+        let b = with_freeloaders(5, 0);
+        let s = score(&[], &b);
+        assert_eq!(s.tpr, 1.0);
+        assert_eq!(s.fpr, 0.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let b = with_freeloaders(4, 2);
+        let s = score(&[0, 1], &b);
+        assert_eq!(format!("{s}"), "TPR 100.0% / FPR 0.00%");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let b = with_freeloaders(2, 1);
+        let _ = score(&[5], &b);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-round records and the paper's efficiency metrics.
+
+/// Everything recorded about one communication round.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoundRecord {
+    /// Round index `t` (0-based).
+    pub round: usize,
+    /// Global-model test accuracy after the round (on the algorithm's
+    /// reported output parameters).
+    pub test_accuracy: f64,
+    /// Global-model test loss after the round.
+    pub test_loss: f64,
+    /// Mean local training loss across honest clients.
+    pub train_loss: f64,
+    /// The slowest client's local compute time this round, in seconds —
+    /// the paper's Fig. 5 quantity (synchronous FL waits for the
+    /// straggler).
+    pub max_client_seconds: f64,
+    /// Sum of all clients' local compute time this round.
+    pub total_client_seconds: f64,
+    /// The algorithm's per-client `α_i^t` after the round, if it
+    /// computes them.
+    pub alphas: Option<Vec<f32>>,
+    /// Number of clients expelled so far.
+    pub expelled: usize,
+    /// Total bytes uploaded by clients this round (after compression,
+    /// when an upload compressor is configured).
+    pub upload_bytes: usize,
+}
+
+/// The full trajectory of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct History {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// One record per round, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Clients expelled by the algorithm over the whole run.
+    pub expelled_clients: Vec<usize>,
+}
+
+impl History {
+    /// Test accuracy after the final round; `0` for an empty run.
+    pub fn final_accuracy(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.test_accuracy)
+    }
+
+    /// Best test accuracy over the run.
+    pub fn best_accuracy(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.test_accuracy)
+            .fold(0.0, f64::max)
+    }
+
+    /// The paper's **round-to-accuracy**: the 1-based round count at
+    /// which `target` test accuracy is first reached, or `None` if the
+    /// run never reaches it (the paper's `×` / `200+` entries).
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.rounds
+            .iter()
+            .position(|r| r.test_accuracy >= target)
+            .map(|p| p + 1)
+    }
+
+    /// The paper's **time-to-accuracy**: cumulative slowest-client
+    /// compute seconds until `target` accuracy is first reached
+    /// (Fig. 4), or `None` if never reached.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        let mut acc_time = 0.0;
+        for r in &self.rounds {
+            acc_time += r.max_client_seconds;
+            if r.test_accuracy >= target {
+                return Some(acc_time);
+            }
+        }
+        None
+    }
+
+    /// Total slowest-client compute time across the run.
+    pub fn total_time(&self) -> f64 {
+        self.rounds.iter().map(|r| r.max_client_seconds).sum()
+    }
+
+    /// Total bytes uploaded across the run.
+    pub fn total_upload_bytes(&self) -> usize {
+        self.rounds.iter().map(|r| r.upload_bytes).sum()
+    }
+
+    /// The per-round slowest-client compute times (Fig. 5's series).
+    pub fn per_round_seconds(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.max_client_seconds).collect()
+    }
+
+    /// The accuracy series indexed by round (Figs. 2a/2b).
+    pub fn accuracy_series(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.test_accuracy).collect()
+    }
+
+    /// The accuracy series indexed by cumulative compute time
+    /// (Figs. 2c/2d): `(seconds, accuracy)` pairs.
+    pub fn accuracy_vs_time(&self) -> Vec<(f64, f64)> {
+        let mut t = 0.0;
+        self.rounds
+            .iter()
+            .map(|r| {
+                t += r.max_client_seconds;
+                (t, r.test_accuracy)
+            })
+            .collect()
+    }
+
+    /// Accuracy instability: the standard deviation of round-to-round
+    /// accuracy changes over the last half of training. The paper's
+    /// Fig. 2 discussion calls out exactly this kind of oscillation for
+    /// over-corrected algorithms.
+    pub fn instability(&self) -> f64 {
+        let accs = self.accuracy_series();
+        if accs.len() < 4 {
+            return 0.0;
+        }
+        let tail = &accs[accs.len() / 2..];
+        let diffs: Vec<f64> = tail.windows(2).map(|w| w[1] - w[0]).collect();
+        taco_tensor::stats::std_dev(&diffs)
+    }
+
+    /// `true` if training diverged (non-finite or chance-level-collapse
+    /// accuracy at the end after having been above it). Mirrors the
+    /// paper's `×` convergence-failure markers.
+    pub fn diverged(&self, chance_level: f64) -> bool {
+        let last = self.final_accuracy();
+        !last.is_finite() || (self.best_accuracy() > 1.5 * chance_level && last < chance_level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: usize, acc: f64, secs: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            test_accuracy: acc,
+            test_loss: 0.0,
+            train_loss: 0.0,
+            max_client_seconds: secs,
+            total_client_seconds: secs * 2.0,
+            alphas: None,
+            expelled: 0,
+            upload_bytes: 0,
+        }
+    }
+
+    fn history(accs: &[f64]) -> History {
+        History {
+            algorithm: "test".into(),
+            rounds: accs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| rec(i, a, 1.0))
+                .collect(),
+            expelled_clients: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn round_to_accuracy_is_one_based() {
+        let h = history(&[0.1, 0.5, 0.7]);
+        assert_eq!(h.rounds_to_accuracy(0.5), Some(2));
+        assert_eq!(h.rounds_to_accuracy(0.9), None);
+        assert_eq!(h.rounds_to_accuracy(0.05), Some(1));
+    }
+
+    #[test]
+    fn time_to_accuracy_accumulates() {
+        let h = history(&[0.1, 0.5, 0.7]);
+        assert_eq!(h.time_to_accuracy(0.7), Some(3.0));
+        assert_eq!(h.time_to_accuracy(0.99), None);
+        assert_eq!(h.total_time(), 3.0);
+    }
+
+    #[test]
+    fn accuracy_vs_time_pairs() {
+        let h = history(&[0.2, 0.4]);
+        assert_eq!(h.accuracy_vs_time(), vec![(1.0, 0.2), (2.0, 0.4)]);
+    }
+
+    #[test]
+    fn final_and_best() {
+        let h = history(&[0.3, 0.8, 0.6]);
+        assert_eq!(h.final_accuracy(), 0.6);
+        assert_eq!(h.best_accuracy(), 0.8);
+    }
+
+    #[test]
+    fn stable_run_has_low_instability() {
+        let smooth = history(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]);
+        let rocky = history(&[0.1, 0.2, 0.3, 0.4, 0.7, 0.2, 0.8, 0.1]);
+        assert!(smooth.instability() < rocky.instability());
+    }
+
+    #[test]
+    fn divergence_detection() {
+        let ok = history(&[0.1, 0.5, 0.7]);
+        assert!(!ok.diverged(0.1));
+        let collapsed = history(&[0.1, 0.6, 0.05]);
+        assert!(collapsed.diverged(0.1));
+        let never_learned = history(&[0.1, 0.1, 0.1]);
+        assert!(!never_learned.diverged(0.1));
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let h = History::default();
+        assert_eq!(h.final_accuracy(), 0.0);
+        assert_eq!(h.rounds_to_accuracy(0.5), None);
+        assert_eq!(h.instability(), 0.0);
+    }
+}

@@ -1,0 +1,609 @@
+//! The parameter-server round loop.
+
+use crate::freeloader::ClientBehavior;
+use crate::metrics::{History, RoundRecord};
+use std::sync::Arc;
+use taco_core::compress::Compressor;
+use taco_core::{update, ClientUpdate, FederatedAlgorithm, HyperParams, LocalRule};
+use taco_data::FederatedDataset;
+use taco_nn::{Batch, Model};
+use taco_tensor::{ops, Prng};
+
+/// Which clients take part in each round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Participation {
+    /// Every client participates every round (the paper's setting).
+    Full,
+    /// A uniformly random subset of `⌈fraction·N⌉` clients per round
+    /// (classic partial participation; deterministic given the run
+    /// seed).
+    Sample {
+        /// Fraction of clients sampled per round, in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Configuration of a simulation run.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Shared FL hyper-parameters.
+    pub hyper: HyperParams,
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Base seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Per-client behaviours; defaults to all-honest.
+    pub behaviors: Vec<ClientBehavior>,
+    /// Run clients on parallel threads. Timing experiments (Table I,
+    /// Fig. 5) should disable this so per-client wall-clock
+    /// measurements don't contend for cores.
+    pub parallel: bool,
+    /// Evaluate the global model every `eval_every` rounds (always
+    /// including the last).
+    pub eval_every: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Client participation scheme.
+    pub participation: Participation,
+    /// Per-client local step counts `τ_i` (system heterogeneity; used
+    /// by FedNova-style normalized aggregation). `None` means every
+    /// client runs `hyper.local_steps`.
+    pub local_steps_per_client: Option<Vec<usize>>,
+    /// Lossy codec applied to every honest upload `Δ_i` before it
+    /// reaches the server, with its wire size recorded per round.
+    pub upload_compressor: Option<Arc<dyn Compressor>>,
+}
+
+impl SimConfig {
+    /// Creates a config with the defaults used throughout the
+    /// experiment harness: parallel clients, evaluation every round,
+    /// evaluation batch 64, all clients honest.
+    pub fn new(hyper: HyperParams, rounds: usize, seed: u64) -> Self {
+        SimConfig {
+            hyper,
+            rounds,
+            seed,
+            behaviors: vec![ClientBehavior::Honest; hyper.num_clients],
+            parallel: true,
+            eval_every: 1,
+            eval_batch: 64,
+            participation: Participation::Full,
+            local_steps_per_client: None,
+            upload_compressor: None,
+        }
+    }
+
+    /// Builder-style upload-compression override.
+    pub fn with_compressor(mut self, compressor: Arc<dyn Compressor>) -> Self {
+        self.upload_compressor = Some(compressor);
+        self
+    }
+
+    /// Builder-style partial-participation override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn with_participation(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "participation fraction must be in (0, 1], got {fraction}"
+        );
+        self.participation = Participation::Sample { fraction };
+        self
+    }
+
+    /// Builder-style heterogeneous local-step override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the client count or any step
+    /// count is zero.
+    pub fn with_local_steps(mut self, steps: Vec<usize>) -> Self {
+        assert_eq!(
+            steps.len(),
+            self.hyper.num_clients,
+            "step count must match client count"
+        );
+        assert!(steps.iter().all(|&s| s > 0), "step counts must be positive");
+        self.local_steps_per_client = Some(steps);
+        self
+    }
+
+    /// Builder-style behaviour override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the client count.
+    pub fn with_behaviors(mut self, behaviors: Vec<ClientBehavior>) -> Self {
+        assert_eq!(
+            behaviors.len(),
+            self.hyper.num_clients,
+            "behaviour count must match client count"
+        );
+        self.behaviors = behaviors;
+        self
+    }
+
+    /// Builder-style sequential-execution override (for timing runs).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Builder-style evaluation cadence override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eval_every` is zero.
+    pub fn with_eval_every(mut self, eval_every: usize) -> Self {
+        assert!(eval_every > 0, "eval_every must be positive");
+        self.eval_every = eval_every;
+        self
+    }
+}
+
+impl std::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("hyper", &self.hyper)
+            .field("rounds", &self.rounds)
+            .field("seed", &self.seed)
+            .field("behaviors", &self.behaviors)
+            .field("parallel", &self.parallel)
+            .field("eval_every", &self.eval_every)
+            .field("eval_batch", &self.eval_batch)
+            .field("participation", &self.participation)
+            .field("local_steps_per_client", &self.local_steps_per_client)
+            .field(
+                "upload_compressor",
+                &self.upload_compressor.as_ref().map(|c| c.name()),
+            )
+            .finish()
+    }
+}
+
+/// Deterministic per-(round, client) RNG derivation: results never
+/// depend on thread scheduling.
+fn client_rng(seed: u64, round: usize, client: usize) -> Prng {
+    let mixed = seed
+        ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (client as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+    Prng::seed_from_u64(mixed)
+}
+
+/// A federated-learning simulation: one algorithm, one federation, one
+/// model architecture.
+pub struct Simulation {
+    fed: FederatedDataset,
+    prototype: Box<dyn Model>,
+    algorithm: Box<dyn FederatedAlgorithm>,
+    config: SimConfig,
+    eval_batches: Vec<Batch>,
+}
+
+struct ClientJob {
+    client: usize,
+    rule: LocalRule,
+    num_samples: usize,
+    steps: usize,
+}
+
+impl Simulation {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the federation's client count differs from
+    /// `config.hyper.num_clients`.
+    pub fn new(
+        fed: FederatedDataset,
+        prototype: Box<dyn Model>,
+        algorithm: Box<dyn FederatedAlgorithm>,
+        config: SimConfig,
+    ) -> Self {
+        assert_eq!(
+            fed.num_clients(),
+            config.hyper.num_clients,
+            "federation has {} clients but hyper says {}",
+            fed.num_clients(),
+            config.hyper.num_clients
+        );
+        let eval_batches = fed.test().eval_batches(config.eval_batch);
+        Simulation {
+            fed,
+            prototype,
+            algorithm,
+            config,
+            eval_batches,
+        }
+    }
+
+    /// Runs the full training loop and returns the trajectory.
+    pub fn run(mut self) -> History {
+        let mut prototype = self.prototype.clone_model();
+        let mut global = prototype.params();
+        let mut prev_global = global.clone();
+        let mut history = History {
+            algorithm: self.algorithm.name().to_string(),
+            rounds: Vec::with_capacity(self.config.rounds),
+            expelled_clients: Vec::new(),
+        };
+        let hyper = self.config.hyper;
+        let needs_momentum_upload = matches!(
+            self.algorithm
+                .local_rule(0, &global),
+            LocalRule::StemMomentum { .. }
+        );
+        for round in 0..self.config.rounds {
+            self.algorithm.begin_round(round, &global);
+            let expelled: Vec<usize> = self.algorithm.expelled();
+            let n = self.fed.num_clients();
+            // Participation draw (deterministic per round).
+            let participating: Vec<bool> = match self.config.participation {
+                Participation::Full => vec![true; n],
+                Participation::Sample { fraction } => {
+                    let m = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
+                    let mut prng = client_rng(self.config.seed ^ 0x9A97, round, usize::MAX);
+                    let chosen = prng.sample_indices(n, m);
+                    let mut v = vec![false; n];
+                    for c in chosen {
+                        v[c] = true;
+                    }
+                    v
+                }
+            };
+            // Build this round's jobs for honest, active clients.
+            let mut jobs = Vec::new();
+            let mut freeloader_updates = Vec::new();
+            for client in 0..n {
+                if expelled.contains(&client) || !participating[client] {
+                    continue;
+                }
+                match self.config.behaviors[client] {
+                    ClientBehavior::Honest => jobs.push(ClientJob {
+                        client,
+                        rule: self.algorithm.local_rule(client, &global),
+                        num_samples: self.fed.client(client).len(),
+                        steps: self
+                            .config
+                            .local_steps_per_client
+                            .as_ref()
+                            .map_or(hyper.local_steps, |s| s[client]),
+                    }),
+                    ClientBehavior::Freeloader => {
+                        // Upload the previous global update verbatim
+                        // (Section IV-A): Δ_i = w_{t−1} − w_t, the
+                        // parameter-space image of the last Δ_t.
+                        let delta = ops::sub(&prev_global, &global);
+                        let dim = delta.len();
+                        freeloader_updates.push(ClientUpdate {
+                            client,
+                            delta,
+                            num_samples: self.fed.client(client).len(),
+                            final_v: needs_momentum_upload.then(|| vec![0.0; dim]),
+                            mean_loss: 0.0,
+                            grad_evals: 0,
+                            steps: 0,
+                            compute_seconds: 0.0,
+                        });
+                    }
+                }
+            }
+            if jobs.is_empty() && freeloader_updates.is_empty() {
+                // Everyone expelled: freeze training here.
+                break;
+            }
+            let mut updates = self.execute_jobs(&global, jobs, round);
+            updates.append(&mut freeloader_updates);
+            updates.sort_by_key(|u| u.client);
+            // Lossy upload compression + byte accounting.
+            let upload_bytes: usize = match &self.config.upload_compressor {
+                Some(c) => {
+                    let mut bytes = 0;
+                    for u in &mut updates {
+                        u.delta = c.roundtrip(&u.delta);
+                        bytes += c.payload_bytes(u.delta.len());
+                    }
+                    bytes
+                }
+                None => updates.iter().map(|u| u.delta.len() * 4).sum(),
+            };
+            // Aggregate and advance.
+            let next = self.algorithm.aggregate(&global, &updates, &hyper);
+            prev_global = global;
+            global = next;
+            // Metrics.
+            let honest: Vec<&ClientUpdate> = updates
+                .iter()
+                .filter(|u| self.config.behaviors[u.client] == ClientBehavior::Honest)
+                .collect();
+            let train_loss = if honest.is_empty() {
+                0.0
+            } else {
+                honest.iter().map(|u| u.mean_loss as f64).sum::<f64>() / honest.len() as f64
+            };
+            let max_secs = updates
+                .iter()
+                .map(|u| u.compute_seconds)
+                .fold(0.0, f64::max);
+            let total_secs: f64 = updates.iter().map(|u| u.compute_seconds).sum();
+            let evaluate_now =
+                round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
+            let (test_loss, test_acc) = if evaluate_now {
+                let out = self.algorithm.output_params(&global);
+                prototype.set_params(&out);
+                let (l, a) = taco_nn::evaluate(&mut *prototype, &self.eval_batches);
+                (l as f64, a as f64)
+            } else {
+                history
+                    .rounds
+                    .last()
+                    .map(|r| (r.test_loss, r.test_accuracy))
+                    .unwrap_or((0.0, 0.0))
+            };
+            history.rounds.push(RoundRecord {
+                round,
+                test_accuracy: test_acc,
+                test_loss,
+                train_loss,
+                max_client_seconds: max_secs,
+                total_client_seconds: total_secs,
+                alphas: self.algorithm.alphas().map(<[f32]>::to_vec),
+                expelled: self.algorithm.expelled().len(),
+                upload_bytes,
+            });
+        }
+        history.expelled_clients = self.algorithm.expelled();
+        history
+    }
+
+    /// Executes honest-client jobs, sequentially or on scoped threads.
+    fn execute_jobs(
+        &self,
+        global: &[f32],
+        jobs: Vec<ClientJob>,
+        round: usize,
+    ) -> Vec<ClientUpdate> {
+        let hyper = self.config.hyper;
+        let seed = self.config.seed;
+        let prototype = &self.prototype;
+        let fed = &self.fed;
+        let run_one = move |job: &ClientJob| -> ClientUpdate {
+            let mut model = prototype.clone_model();
+            model.set_params(global);
+            let mut rng = client_rng(seed, round, job.client);
+            let start = std::time::Instant::now();
+            let outcome = update::run_local_steps(
+                &mut *model,
+                fed.client(job.client),
+                &job.rule,
+                job.steps,
+                hyper.eta_l,
+                hyper.batch_size,
+                &mut rng,
+            );
+            let elapsed = start.elapsed().as_secs_f64();
+            let mut u = ClientUpdate::from_outcome(job.client, job.num_samples, outcome);
+            u.compute_seconds = elapsed;
+            u
+        };
+        if !self.config.parallel || jobs.len() <= 1 {
+            return jobs.iter().map(run_one).collect();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(jobs.len());
+        let chunk = jobs.len().div_ceil(threads);
+        let mut results: Vec<Option<ClientUpdate>> = Vec::new();
+        results.resize_with(jobs.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slice_jobs, slice_out) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (j, out) in slice_jobs.iter().zip(slice_out.iter_mut()) {
+                        *out = Some(run_one(j));
+                    }
+                });
+            }
+        })
+        .expect("client thread panicked");
+        results
+            .into_iter()
+            .map(|r| r.expect("client job not executed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_core::{AggWeighting, FedAvg, Taco};
+    use taco_data::{partition, tabular};
+    use taco_nn::Mlp;
+
+    fn small_fed(clients: usize, seed: u64) -> FederatedDataset {
+        let mut rng = Prng::seed_from_u64(seed);
+        let spec = tabular::TabularSpec::adult_like().with_sizes(240, 80);
+        let data = tabular::generate(&spec, &mut rng);
+        let shards = partition::dirichlet(data.train.labels(), clients, 0.5, &mut rng);
+        FederatedDataset::from_partition(data.train, data.test, &shards)
+    }
+
+    fn mlp(seed: u64) -> Box<dyn Model> {
+        let mut rng = Prng::seed_from_u64(seed);
+        Box::new(Mlp::new(14, &[16, 8], 2, &mut rng))
+    }
+
+    #[test]
+    fn fedavg_learns_the_tabular_task() {
+        let fed = small_fed(4, 1);
+        let hyper = HyperParams::new(4, 10, 0.05, 16);
+        let config = SimConfig::new(hyper, 10, 42);
+        let history = Simulation::new(fed, mlp(1), Box::new(FedAvg::default()), config).run();
+        assert_eq!(history.rounds.len(), 10);
+        assert!(
+            history.final_accuracy() > 0.6,
+            "accuracy only {}",
+            history.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn same_seed_same_history_parallel_or_not() {
+        let hyper = HyperParams::new(4, 5, 0.05, 16);
+        let h1 = Simulation::new(
+            small_fed(4, 2),
+            mlp(2),
+            Box::new(FedAvg::default()),
+            SimConfig::new(hyper, 4, 7),
+        )
+        .run();
+        let h2 = Simulation::new(
+            small_fed(4, 2),
+            mlp(2),
+            Box::new(FedAvg::default()),
+            SimConfig::new(hyper, 4, 7).sequential(),
+        )
+        .run();
+        assert_eq!(h1.accuracy_series(), h2.accuracy_series());
+        // Per-round deltas drive the model identically; timing differs.
+        for (a, b) in h1.rounds.iter().zip(&h2.rounds) {
+            assert_eq!(a.test_loss, b.test_loss);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let hyper = HyperParams::new(4, 5, 0.05, 16);
+        let h1 = Simulation::new(
+            small_fed(4, 3),
+            mlp(3),
+            Box::new(FedAvg::default()),
+            SimConfig::new(hyper, 3, 1),
+        )
+        .run();
+        let h2 = Simulation::new(
+            small_fed(4, 3),
+            mlp(3),
+            Box::new(FedAvg::default()),
+            SimConfig::new(hyper, 3, 2),
+        )
+        .run();
+        assert_ne!(h1.accuracy_series(), h2.accuracy_series());
+    }
+
+    #[test]
+    fn taco_runs_with_freeloaders_and_records_alphas() {
+        let fed = small_fed(5, 4);
+        let hyper = HyperParams::new(5, 5, 0.05, 16);
+        let taco = Taco::new(5, taco_core::taco::TacoConfig::paper_default(8, 5));
+        let behaviors = crate::freeloader::with_freeloaders(5, 2);
+        let config = SimConfig::new(hyper, 8, 11).with_behaviors(behaviors);
+        let history = Simulation::new(fed, mlp(4), Box::new(taco), config).run();
+        assert_eq!(history.rounds.len(), 8);
+        let alphas = history.rounds.last().unwrap().alphas.as_ref().unwrap();
+        assert_eq!(alphas.len(), 5);
+        let _ = AggWeighting::Uniform; // silence unused import in cfg(test)
+    }
+
+    #[test]
+    fn eval_every_carries_last_value_forward() {
+        let fed = small_fed(3, 5);
+        let hyper = HyperParams::new(3, 3, 0.05, 8);
+        let config = SimConfig::new(hyper, 5, 1).with_eval_every(2);
+        let history = Simulation::new(fed, mlp(5), Box::new(FedAvg::default()), config).run();
+        // Rounds 1 and 3 (0-based) are carried forward.
+        assert_eq!(
+            history.rounds[1].test_accuracy,
+            history.rounds[0].test_accuracy
+        );
+        assert_eq!(history.rounds.len(), 5);
+    }
+
+    #[test]
+    fn partial_participation_runs_and_learns() {
+        let fed = small_fed(6, 7);
+        let hyper = HyperParams::new(6, 8, 0.05, 16);
+        let config = SimConfig::new(hyper, 10, 3).with_participation(0.5);
+        let history = Simulation::new(fed, mlp(7), Box::new(FedAvg::default()), config).run();
+        assert_eq!(history.rounds.len(), 10);
+        assert!(
+            history.best_accuracy() > 0.6,
+            "partial participation stuck at {}",
+            history.best_accuracy()
+        );
+    }
+
+    #[test]
+    fn partial_participation_is_deterministic() {
+        let hyper = HyperParams::new(6, 4, 0.05, 8);
+        let run = || {
+            Simulation::new(
+                small_fed(6, 8),
+                mlp(8),
+                Box::new(FedAvg::default()),
+                SimConfig::new(hyper, 5, 99).with_participation(0.34),
+            )
+            .run()
+        };
+        assert_eq!(run().accuracy_series(), run().accuracy_series());
+    }
+
+    #[test]
+    fn heterogeneous_steps_feed_fednova() {
+        let fed = small_fed(4, 9);
+        let hyper = HyperParams::new(4, 8, 0.05, 16);
+        let config = SimConfig::new(hyper, 8, 5).with_local_steps(vec![2, 4, 8, 16]);
+        let history = Simulation::new(
+            fed,
+            mlp(9),
+            Box::new(taco_core::FedNova::default()),
+            config,
+        )
+        .run();
+        assert!(
+            history.best_accuracy() > 0.6,
+            "FedNova under system heterogeneity stuck at {}",
+            history.best_accuracy()
+        );
+    }
+
+    #[test]
+    fn compressed_uploads_still_learn_and_count_bytes() {
+        let fed = small_fed(4, 12);
+        let hyper = HyperParams::new(4, 8, 0.05, 16);
+        let plain = SimConfig::new(hyper, 8, 6);
+        let compressed = SimConfig::new(hyper, 8, 6)
+            .with_compressor(Arc::new(taco_core::compress::TopK::new(0.1)));
+        let h_plain =
+            Simulation::new(small_fed(4, 12), mlp(12), Box::new(FedAvg::default()), plain).run();
+        let h_comp = Simulation::new(fed, mlp(12), Box::new(FedAvg::default()), compressed).run();
+        assert!(
+            h_comp.total_upload_bytes() < h_plain.total_upload_bytes() / 2,
+            "compression did not shrink uploads: {} vs {}",
+            h_comp.total_upload_bytes(),
+            h_plain.total_upload_bytes()
+        );
+        assert!(
+            h_comp.best_accuracy() > 0.6,
+            "compressed run stuck at {}",
+            h_comp.best_accuracy()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn zero_participation_panics() {
+        let hyper = HyperParams::new(2, 1, 0.1, 1);
+        let _ = SimConfig::new(hyper, 1, 1).with_participation(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "federation has")]
+    fn client_count_mismatch_panics() {
+        let fed = small_fed(3, 6);
+        let hyper = HyperParams::new(4, 3, 0.05, 8);
+        let _ = Simulation::new(fed, mlp(6), Box::new(FedAvg::default()), SimConfig::new(hyper, 1, 1));
+    }
+}

@@ -1,0 +1,437 @@
+//! 2-D convolution and pooling kernels.
+//!
+//! Convolution is implemented via `im2col`: the input patches are
+//! unrolled into a matrix so that convolution becomes one matrix
+//! multiplication (and the backward pass two). This is the classic
+//! CPU strategy and keeps all heavy lifting in [`crate::linalg`].
+//!
+//! Layout conventions: activations are `[batch, channels, height,
+//! width]` (NCHW) flattened row-major; kernels are `[out_ch, in_ch,
+//! kh, kw]`.
+
+use crate::linalg;
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (ignored by pooling).
+    pub out_channels: usize,
+    /// Kernel height and width.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied on every side.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit (output would be empty).
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        let ow = (w + 2 * self.padding).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        match (oh, ow) {
+            (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
+            _ => panic!(
+                "conv window {}x{} stride {} pad {} does not fit input {h}x{w}",
+                self.kernel, self.kernel, self.stride, self.padding
+            ),
+        }
+    }
+}
+
+/// Unrolls input patches into a `[oh*ow, in_ch*k*k]` matrix for one
+/// image of shape `[in_ch, h, w]` (flattened).
+///
+/// Out-of-bounds (padding) positions contribute zeros.
+pub fn im2col(input: &[f32], h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let cols = spec.in_channels * k * k;
+    let mut out = vec![0.0f32; oh * ow * cols];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let base = row * cols;
+            for c in 0..spec.in_channels {
+                for ky in 0..k {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let src = c * h * w + iy as usize * w + ix as usize;
+                        let dst = base + c * k * k + ky * k + kx;
+                        out[dst] = input[src];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[oh * ow, cols][..])
+}
+
+/// Scatters a `[oh*ow, in_ch*k*k]` column matrix back into an image
+/// gradient of shape `[in_ch, h, w]` (the adjoint of [`im2col`]).
+pub fn col2im(cols_t: &Tensor, h: usize, w: usize, spec: &Conv2dSpec) -> Vec<f32> {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let cols = spec.in_channels * k * k;
+    assert_eq!(cols_t.dims(), &[oh * ow, cols], "col2im shape mismatch");
+    let mut out = vec![0.0f32; spec.in_channels * h * w];
+    let data = cols_t.data();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let base = row * cols;
+            for c in 0..spec.in_channels {
+                for ky in 0..k {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let dst = c * h * w + iy as usize * w + ix as usize;
+                        let src = base + c * k * k + ky * k + kx;
+                        out[dst] += data[src];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Forward 2-D convolution for one image.
+///
+/// `input` is `[in_ch, h, w]` flattened, `weight` is
+/// `[out_ch, in_ch*k*k]`, `bias` has `out_ch` entries. Returns the
+/// output `[out_ch, oh, ow]` flattened plus the `im2col` matrix, which
+/// the caller keeps for the backward pass.
+pub fn conv2d_forward(
+    input: &[f32],
+    h: usize,
+    w: usize,
+    weight: &Tensor,
+    bias: &[f32],
+    spec: &Conv2dSpec,
+) -> (Vec<f32>, Tensor) {
+    let (oh, ow) = spec.output_hw(h, w);
+    let cols = im2col(input, h, w, spec);
+    // [oh*ow, in_ch*k*k] x [in_ch*k*k, out_ch] -> [oh*ow, out_ch]
+    let prod = linalg::matmul_nt(&cols, weight);
+    let mut out = vec![0.0f32; spec.out_channels * oh * ow];
+    let pd = prod.data();
+    for pos in 0..oh * ow {
+        for oc in 0..spec.out_channels {
+            out[oc * oh * ow + pos] = pd[pos * spec.out_channels + oc] + bias[oc];
+        }
+    }
+    (out, cols)
+}
+
+/// Backward 2-D convolution for one image.
+///
+/// `grad_out` is `[out_ch, oh, ow]` flattened, `cols` is the `im2col`
+/// matrix saved by [`conv2d_forward`]. Accumulates into `grad_weight`
+/// (`[out_ch, in_ch*k*k]`) and `grad_bias`, and returns the input
+/// gradient `[in_ch, h, w]` flattened.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward(
+    grad_out: &[f32],
+    h: usize,
+    w: usize,
+    weight: &Tensor,
+    cols: &Tensor,
+    spec: &Conv2dSpec,
+    grad_weight: &mut Tensor,
+    grad_bias: &mut [f32],
+) -> Vec<f32> {
+    let (oh, ow) = spec.output_hw(h, w);
+    // Repack grad_out to [oh*ow, out_ch].
+    let mut g = vec![0.0f32; oh * ow * spec.out_channels];
+    for oc in 0..spec.out_channels {
+        for pos in 0..oh * ow {
+            g[pos * spec.out_channels + oc] = grad_out[oc * oh * ow + pos];
+        }
+    }
+    let g = Tensor::from_vec(g, &[oh * ow, spec.out_channels][..]);
+    // dW = gᵀ · cols  -> [out_ch, in_ch*k*k]
+    let dw = linalg::matmul_tn(&g, cols);
+    *grad_weight += &dw;
+    for oc in 0..spec.out_channels {
+        let mut s = 0.0;
+        for pos in 0..oh * ow {
+            s += g.data()[pos * spec.out_channels + oc];
+        }
+        grad_bias[oc] += s;
+    }
+    // dcols = g · W -> [oh*ow, in_ch*k*k]
+    let dcols = linalg::matmul(&g, weight);
+    col2im(&dcols, h, w, spec)
+}
+
+/// Forward 2×2 (or general square) max pooling for one image.
+///
+/// Returns the pooled output `[ch, oh, ow]` and the flat argmax indices
+/// used by [`maxpool2d_backward`].
+pub fn maxpool2d_forward(
+    input: &[f32],
+    channels: usize,
+    h: usize,
+    w: usize,
+    window: usize,
+    stride: usize,
+) -> (Vec<f32>, Vec<usize>) {
+    assert!(window > 0 && stride > 0, "pool window/stride must be positive");
+    let oh = (h - window) / stride + 1;
+    let ow = (w - window) / stride + 1;
+    let mut out = vec![0.0f32; channels * oh * ow];
+    let mut arg = vec![0usize; channels * oh * ow];
+    for c in 0..channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let iy = oy * stride + ky;
+                        let ix = ox * stride + kx;
+                        let idx = c * h * w + iy * w + ix;
+                        if input[idx] > best {
+                            best = input[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = c * oh * ow + oy * ow + ox;
+                out[o] = best;
+                arg[o] = best_idx;
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward max pooling: routes each output gradient to the input
+/// element that won the forward max.
+pub fn maxpool2d_backward(
+    grad_out: &[f32],
+    argmax: &[usize],
+    input_len: usize,
+) -> Vec<f32> {
+    let mut grad_in = vec![0.0f32; input_len];
+    for (g, &idx) in grad_out.iter().zip(argmax) {
+        grad_in[idx] += g;
+    }
+    grad_in
+}
+
+/// Global average pooling: collapses `[ch, h, w]` to `[ch]`.
+pub fn global_avg_pool(input: &[f32], channels: usize, hw: usize) -> Vec<f32> {
+    (0..channels)
+        .map(|c| input[c * hw..(c + 1) * hw].iter().sum::<f32>() / hw as f32)
+        .collect()
+}
+
+/// Backward of [`global_avg_pool`].
+pub fn global_avg_pool_backward(grad_out: &[f32], channels: usize, hw: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; channels * hw];
+    for c in 0..channels {
+        let g = grad_out[c] / hw as f32;
+        for x in &mut out[c * hw..(c + 1) * hw] {
+            *x = g;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prng;
+
+    fn spec(in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize) -> Conv2dSpec {
+        Conv2dSpec {
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: k,
+            stride,
+            padding: pad,
+        }
+    }
+
+    /// Direct (nested-loop) convolution used as the test oracle.
+    fn naive_conv(
+        input: &[f32],
+        h: usize,
+        w: usize,
+        weight: &Tensor,
+        bias: &[f32],
+        s: &Conv2dSpec,
+    ) -> Vec<f32> {
+        let (oh, ow) = s.output_hw(h, w);
+        let k = s.kernel;
+        let mut out = vec![0.0f32; s.out_channels * oh * ow];
+        for oc in 0..s.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    for c in 0..s.in_channels {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * s.stride + ky) as isize - s.padding as isize;
+                                let ix = (ox * s.stride + kx) as isize - s.padding as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let wv = weight.data()
+                                    [oc * s.in_channels * k * k + c * k * k + ky * k + kx];
+                                acc += wv * input[c * h * w + iy as usize * w + ix as usize];
+                            }
+                        }
+                    }
+                    out[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_hw_formula() {
+        let s = spec(1, 1, 5, 1, 0);
+        assert_eq!(s.output_hw(28, 28), (24, 24));
+        let s = spec(1, 1, 3, 2, 1);
+        assert_eq!(s.output_hw(8, 8), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn output_hw_too_small_panics() {
+        let s = spec(1, 1, 5, 1, 0);
+        let _ = s.output_hw(3, 3);
+    }
+
+    #[test]
+    fn conv_forward_matches_naive() {
+        let mut rng = Prng::seed_from_u64(10);
+        for &(h, w, s) in &[(6usize, 6usize, spec(2, 3, 3, 1, 0)), (5, 7, spec(1, 2, 3, 2, 1))] {
+            let input = Tensor::randn(&[s.in_channels * h * w][..], 1.0, &mut rng);
+            let weight = Tensor::randn(
+                &[s.out_channels, s.in_channels * s.kernel * s.kernel][..],
+                0.5,
+                &mut rng,
+            );
+            let bias: Vec<f32> = (0..s.out_channels).map(|_| rng.normal_f32()).collect();
+            let (got, _) = conv2d_forward(input.data(), h, w, &weight, &bias, &s);
+            let want = naive_conv(input.data(), h, w, &weight, &bias, &s);
+            for (g, n) in got.iter().zip(&want) {
+                assert!((g - n).abs() < 1e-4, "{g} vs {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_differences() {
+        let mut rng = Prng::seed_from_u64(20);
+        let s = spec(2, 2, 3, 1, 1);
+        let (h, w) = (4, 4);
+        let input = Tensor::randn(&[s.in_channels * h * w][..], 1.0, &mut rng);
+        let weight = Tensor::randn(
+            &[s.out_channels, s.in_channels * s.kernel * s.kernel][..],
+            0.5,
+            &mut rng,
+        );
+        let bias = vec![0.1f32, -0.2];
+        // Loss = sum of outputs; grad_out = ones.
+        let loss = |inp: &[f32], wt: &Tensor, b: &[f32]| -> f32 {
+            conv2d_forward(inp, h, w, wt, b, &s).0.iter().sum()
+        };
+        let (out, cols) = conv2d_forward(input.data(), h, w, &weight, &bias, &s);
+        let grad_out = vec![1.0f32; out.len()];
+        let mut gw = Tensor::zeros(weight.shape().clone());
+        let mut gb = vec![0.0f32; 2];
+        let gin = conv2d_backward(&grad_out, h, w, &weight, &cols, &s, &mut gw, &mut gb);
+
+        let eps = 1e-2f32;
+        // Check a few input coordinates.
+        for &i in &[0usize, 7, 15, 31] {
+            let mut p = input.data().to_vec();
+            p[i] += eps;
+            let mut m = input.data().to_vec();
+            m[i] -= eps;
+            let fd = (loss(&p, &weight, &bias) - loss(&m, &weight, &bias)) / (2.0 * eps);
+            assert!((fd - gin[i]).abs() < 1e-2, "input grad {i}: fd {fd} vs {}", gin[i]);
+        }
+        // Check a few weight coordinates.
+        for &i in &[0usize, 5, 17] {
+            let mut p = weight.clone();
+            p.data_mut()[i] += eps;
+            let mut m = weight.clone();
+            m.data_mut()[i] -= eps;
+            let fd = (loss(input.data(), &p, &bias) - loss(input.data(), &m, &bias)) / (2.0 * eps);
+            assert!((fd - gw.data()[i]).abs() < 1e-1, "weight grad {i}: fd {fd} vs {}", gw.data()[i]);
+        }
+        // Bias gradient is just the count of output positions.
+        let (oh, ow) = s.output_hw(h, w);
+        assert!((gb[0] - (oh * ow) as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let mut rng = Prng::seed_from_u64(30);
+        let s = spec(2, 1, 3, 2, 1);
+        let (h, w) = (5, 5);
+        let x = Tensor::randn(&[s.in_channels * h * w][..], 1.0, &mut rng);
+        let cols = im2col(x.data(), h, w, &s);
+        let y = Tensor::randn(cols.shape().clone(), 1.0, &mut rng);
+        let lhs = crate::ops::dot(cols.data(), y.data());
+        let back = col2im(&y, h, w, &s);
+        let rhs = crate::ops::dot(x.data(), &back);
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        // 1 channel, 4x4 input, 2x2 window stride 2.
+        let input: Vec<f32> = vec![
+            1.0, 2.0, 5.0, 6.0, //
+            3.0, 4.0, 7.0, 8.0, //
+            9.0, 10.0, 13.0, 14.0, //
+            11.0, 12.0, 15.0, 16.0,
+        ];
+        let (out, arg) = maxpool2d_forward(&input, 1, 4, 4, 2, 2);
+        assert_eq!(out, vec![4.0, 8.0, 12.0, 16.0]);
+        let grad = maxpool2d_backward(&[1.0, 2.0, 3.0, 4.0], &arg, input.len());
+        assert_eq!(grad[5], 1.0);
+        assert_eq!(grad[7], 2.0);
+        assert_eq!(grad[13], 3.0);
+        assert_eq!(grad[15], 4.0);
+        assert_eq!(grad.iter().sum::<f32>(), 10.0);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let input = vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0];
+        let out = global_avg_pool(&input, 2, 4);
+        assert_eq!(out, vec![4.0, 2.0]);
+        let back = global_avg_pool_backward(&[4.0, 8.0], 2, 4);
+        assert_eq!(back, vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover everything a dense/convolutional layer's
+//! forward and backward passes need without materializing transposes:
+//!
+//! - [`matmul`]       — `C = A · B`
+//! - [`matmul_tn`]    — `C = Aᵀ · B` (weight gradients)
+//! - [`matmul_nt`]    — `C = A · Bᵀ` (input gradients)
+//!
+//! The kernels use a k-outer loop with row-major AXPY inner loops,
+//! which vectorizes well and keeps memory access contiguous for the
+//! mini-batch shapes used in this workspace (batch ≤ 64, features ≤
+//! a few thousand).
+
+use crate::Tensor;
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().ndim(), 2, "{what} must be 2-D, got {}", t.shape());
+    (t.dims()[0], t.dims()[1])
+}
+
+/// Computes `C = A · B` for 2-D tensors.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the inner dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use taco_tensor::{Tensor, linalg::matmul};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+/// assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = dims2(a, "matmul lhs");
+    let (kb, n) = dims2(b, "matmul rhs");
+    assert_eq!(ka, kb, "matmul inner dimension mismatch: {ka} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..(k + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n][..])
+}
+
+/// Computes `C = Aᵀ · B` where `A` is `k × m` and `B` is `k × n`.
+///
+/// Equivalent to `matmul(&a.transpose(), b)` without allocating the
+/// transpose. Used for weight gradients (`∂L/∂W = Xᵀ · ∂L/∂Y`).
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the leading dimensions differ.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ka, m) = dims2(a, "matmul_tn lhs");
+    let (kb, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(ka, kb, "matmul_tn leading dimension mismatch: {ka} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aki * bkj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n][..])
+}
+
+/// Computes `C = A · Bᵀ` where `A` is `m × k` and `B` is `n × k`.
+///
+/// Equivalent to `matmul(a, &b.transpose())` without allocating the
+/// transpose. Used for input gradients (`∂L/∂X = ∂L/∂Y · Wᵀ`).
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the trailing dimensions differ.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = dims2(a, "matmul_nt lhs");
+    let (n, kb) = dims2(b, "matmul_nt rhs");
+    assert_eq!(ka, kb, "matmul_nt trailing dimension mismatch: {ka} vs {kb}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = crate::ops::dot(arow, &bd[j * kb..(j + 1) * kb]);
+        }
+    }
+    Tensor::from_vec(out, &[m, n][..])
+}
+
+/// Computes the matrix-vector product `A · x` for a 2-D tensor.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-D or `x.len()` differs from the column count.
+pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
+    let (m, k) = dims2(a, "matvec lhs");
+    assert_eq!(x.len(), k, "matvec dimension mismatch");
+    let ad = a.data();
+    (0..m)
+        .map(|i| crate::ops::dot(&ad[i * k..(i + 1) * k], x))
+        .collect()
+}
+
+/// Outer product `x · yᵀ` as an `m × n` tensor.
+pub fn outer(x: &[f32], y: &[f32]) -> Tensor {
+    let mut out = vec![0.0f32; x.len() * y.len()];
+    for (i, &xi) in x.iter().enumerate() {
+        for (j, &yj) in y.iter().enumerate() {
+            out[i * y.len() + j] = xi * yj;
+        }
+    }
+    Tensor::from_vec(out, &[x.len(), y.len()][..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n][..]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], s);
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Prng::seed_from_u64(1);
+        let a = Tensor::randn(&[3, 3][..], 1.0, &mut rng);
+        assert_close(&matmul(&a, &Tensor::eye(3)), &a, 1e-6);
+        assert_close(&matmul(&Tensor::eye(3), &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = Prng::seed_from_u64(2);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8)] {
+            let a = Tensor::randn(&[m, k][..], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n][..], 1.0, &mut rng);
+            assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = Prng::seed_from_u64(3);
+        let a = Tensor::randn(&[6, 4][..], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 5][..], 1.0, &mut rng);
+        assert_close(&matmul_tn(&a, &b), &matmul(&a.transpose(), &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = Prng::seed_from_u64(4);
+        let a = Tensor::randn(&[3, 7][..], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 7][..], 1.0, &mut rng);
+        assert_close(&matmul_nt(&a, &b), &matmul(&a, &b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Prng::seed_from_u64(5);
+        let a = Tensor::randn(&[4, 6][..], 1.0, &mut rng);
+        let x = Tensor::randn(&[6, 1][..], 1.0, &mut rng);
+        let via_matmul = matmul(&a, &x);
+        let via_matvec = matvec(&a, x.data());
+        for (p, q) in via_matmul.data().iter().zip(&via_matvec) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn outer_shape_and_values() {
+        let t = outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3][..]);
+        let b = Tensor::zeros(&[4, 2][..]);
+        let _ = matmul(&a, &b);
+    }
+}

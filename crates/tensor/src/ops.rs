@@ -1,0 +1,252 @@
+//! Flat-vector numeric helpers.
+//!
+//! The federated-learning algorithms in `taco-core` treat model state
+//! as flat `&[f32]` slices (parameter vectors, accumulated gradients
+//! `Δ_i^t`, control variates, momenta). These free functions implement
+//! the vector arithmetic those algorithms need — most importantly
+//! [`cosine_similarity`], which is the direction term of TACO's
+//! correction coefficient `α_i^t` (Eq. 7 of the paper).
+
+/// Dot product of two equal-length slices.
+///
+/// Accumulates in `f64` for stability on long model vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(taco_tensor::ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as f64 * y as f64;
+    }
+    acc as f32
+}
+
+/// Euclidean (L2) norm of a slice.
+pub fn norm(a: &[f32]) -> f32 {
+    let mut acc = 0.0f64;
+    for &x in a {
+        acc += x as f64 * x as f64;
+    }
+    (acc.sqrt()) as f32
+}
+
+/// Squared Euclidean norm of a slice.
+pub fn norm_sq(a: &[f32]) -> f32 {
+    let mut acc = 0.0f64;
+    for &x in a {
+        acc += x as f64 * x as f64;
+    }
+    acc as f32
+}
+
+/// Cosine similarity between two slices.
+///
+/// Returns `0.0` when either vector has (near-)zero norm; this matches
+/// how the paper's `α_i^t` treats a degenerate first round where
+/// `Δ̄_t = 0`, and makes the value safe to feed into `max{·, 0}`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a) as f64;
+    let nb = norm(b) as f64;
+    if na < 1e-12 || nb < 1e-12 {
+        return 0.0;
+    }
+    let cos = dot(a, b) as f64 / (na * nb);
+    cos.clamp(-1.0, 1.0) as f32
+}
+
+/// `y += alpha * x` (AXPY).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * y` in place.
+pub fn scale(y: &mut [f32], alpha: f32) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Element-wise `a - b` into a fresh vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Element-wise `a + b` into a fresh vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// `a * alpha` into a fresh vector.
+pub fn scaled(a: &[f32], alpha: f32) -> Vec<f32> {
+    a.iter().map(|&x| x * alpha).collect()
+}
+
+/// Weighted mean of several equal-length vectors.
+///
+/// `out[j] = Σ_i weights[i] · vectors[i][j] / Σ_i weights[i]`.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty, lengths are inconsistent, the weight
+/// count differs from the vector count, or the weights sum to a
+/// non-positive value.
+pub fn weighted_mean(vectors: &[&[f32]], weights: &[f32]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "weighted_mean of no vectors");
+    assert_eq!(vectors.len(), weights.len(), "weight count mismatch");
+    let total: f64 = weights.iter().map(|&w| w as f64).sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must sum to a positive finite value, got {total}"
+    );
+    let dim = vectors[0].len();
+    let mut out = vec![0.0f64; dim];
+    for (v, &w) in vectors.iter().zip(weights) {
+        assert_eq!(v.len(), dim, "vector length mismatch in weighted_mean");
+        for (o, &x) in out.iter_mut().zip(v.iter()) {
+            *o += w as f64 * x as f64;
+        }
+    }
+    out.into_iter().map(|x| (x / total) as f32).collect()
+}
+
+/// Unweighted mean of several equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or lengths are inconsistent.
+pub fn mean_of(vectors: &[&[f32]]) -> Vec<f32> {
+    let w = vec![1.0f32; vectors.len()];
+    weighted_mean(vectors, &w)
+}
+
+/// Linear interpolation `(1 - t) * a + t * b` into a fresh vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "lerp length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (1.0 - t) * x + t * y)
+        .collect()
+}
+
+/// Returns `true` if every element is finite.
+pub fn all_finite(a: &[f32]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm_pythagoras() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn cosine_parallel_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_clamped() {
+        // Large near-parallel vectors can produce cos slightly > 1.0 in
+        // f32; the clamp keeps downstream max{cos, 0} well-defined.
+        let a = vec![1e20f32; 4];
+        let c = cosine_similarity(&a, &a);
+        assert!(c <= 1.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(&mut y, 2.0, &[1.0, 2.0]);
+        assert_eq!(y, vec![3.0, 5.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn weighted_mean_is_convex_combination() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 2.0];
+        let m = weighted_mean(&[&a, &b], &[1.0, 3.0]);
+        assert_eq!(m, vec![0.75, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn weighted_mean_zero_weights_panics() {
+        let a = [1.0];
+        let _ = weighted_mean(&[&a], &[0.0]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0, 3.0];
+        let b = [3.0, 5.0];
+        assert_eq!(mean_of(&[&a, &b]), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0, 10.0];
+        let b = [10.0, 0.0];
+        assert_eq!(lerp(&a, &b, 0.0), a.to_vec());
+        assert_eq!(lerp(&a, &b, 1.0), b.to_vec());
+        assert_eq!(lerp(&a, &b, 0.5), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, -2.0]));
+        assert!(!all_finite(&[f32::NAN]));
+        assert!(!all_finite(&[f32::INFINITY]));
+    }
+}

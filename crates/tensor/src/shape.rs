@@ -1,0 +1,182 @@
+//! Tensor shapes: dimension lists with row-major stride arithmetic.
+
+use std::fmt;
+
+/// The shape (dimension list) of a [`Tensor`](crate::Tensor).
+///
+/// Shapes are row-major: the last dimension is contiguous in memory.
+/// A shape with zero dimensions describes a scalar with one element.
+///
+/// # Example
+///
+/// ```
+/// use taco_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.ndim(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero: empty axes are never meaningful
+    /// for the models in this workspace and would silently produce
+    /// zero-length tensors.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns the number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the total number of elements.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if the shape describes a scalar (zero dimensions).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns the size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.ndim()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Returns row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Computes the flat row-major offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (debug builds check each coordinate).
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.0).enumerate().rev() {
+            debug_assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            off += ix * stride;
+            stride *= dim;
+        }
+        off
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl<const N: usize> From<&[usize; N]> for Shape {
+    fn from(dims: &[usize; N]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&Shape> for Shape {
+    fn from(shape: &Shape) -> Self {
+        shape.clone()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ndim(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.strides(), vec![6, 2, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 0, 0]), 6);
+        assert_eq!(s.offset(&[3, 2, 1]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn offset_wrong_rank_panics() {
+        let s = Shape::new(&[2, 2]);
+        let _ = s.offset(&[1]);
+    }
+
+    #[test]
+    fn conversion_from_array() {
+        let s: Shape = [2, 3].into();
+        assert_eq!(s.dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Shape::new(&[2, 3])), "[2, 3]");
+        assert_eq!(format!("{:?}", Shape::new(&[])), "Shape[]");
+    }
+}

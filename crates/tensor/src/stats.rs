@@ -1,0 +1,120 @@
+//! Summary statistics for metric reporting.
+//!
+//! The benchmark harness reports the paper's tables as `mean ± std`
+//! over repeated seeds, and Fig. 5 reports per-round medians; these
+//! helpers implement exactly those reductions.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (average of middle two for even length); `0.0` when empty.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median of NaN"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// `q`-quantile in `[0, 1]` by linear interpolation; `0.0` when empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile of NaN"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let t = pos - lo as f64;
+        v[lo] * (1.0 - t) + v[hi] * t
+    }
+}
+
+/// A `mean ± std` pair, formatted the way the paper's tables print it.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean and standard deviation of a sample.
+    pub fn of(xs: &[f64]) -> Self {
+        MeanStd {
+            mean: mean(xs),
+            std: std_dev(xs),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}±{:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+    }
+
+    #[test]
+    fn mean_std_display() {
+        let ms = MeanStd::of(&[78.0, 79.0, 80.0]);
+        assert_eq!(format!("{ms}"), "79.00±0.82");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the tensor substrate's algebraic identities.
+
+use proptest::prelude::*;
+use taco_tensor::{conv, linalg, ops, Prng, Tensor};
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols][..]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C == A·(B·C) within f32 tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(2, 5),
+    ) {
+        let left = linalg::matmul(&linalg::matmul(&a, &b), &c);
+        let right = linalg::matmul(&a, &linalg::matmul(&b, &c));
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-2 * (1.0 + l.abs()), "{} vs {}", l, r);
+        }
+    }
+
+    /// (A·B)^T == B^T · A^T.
+    #[test]
+    fn transpose_reverses_products(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+    ) {
+        let lhs = linalg::matmul(&a, &b).transpose();
+        let rhs = linalg::matmul(&b.transpose(), &a.transpose());
+        for (l, r) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()));
+        }
+    }
+
+    /// matmul distributes over addition.
+    #[test]
+    fn matmul_distributes(
+        a in tensor_strategy(2, 3),
+        b in tensor_strategy(3, 2),
+        c in tensor_strategy(3, 2),
+    ) {
+        let lhs = linalg::matmul(&a, &(&b + &c));
+        let rhs = &linalg::matmul(&a, &b) + &linalg::matmul(&a, &c);
+        for (l, r) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()));
+        }
+    }
+
+    /// Cauchy–Schwarz: |<a, b>| <= |a|·|b|.
+    #[test]
+    fn cauchy_schwarz(
+        (a, b) in (1usize..16).prop_flat_map(|n| (
+            proptest::collection::vec(-10.0f32..10.0, n..=n),
+            proptest::collection::vec(-10.0f32..10.0, n..=n),
+        )),
+    ) {
+        let dot = ops::dot(&a, &b).abs();
+        let bound = ops::norm(&a) * ops::norm(&b);
+        prop_assert!(dot <= bound * (1.0 + 1e-4) + 1e-5, "{} > {}", dot, bound);
+    }
+
+    /// Triangle inequality on the flat-vector norm.
+    #[test]
+    fn triangle_inequality(
+        (a, b) in (1usize..16).prop_flat_map(|n| (
+            proptest::collection::vec(-10.0f32..10.0, n..=n),
+            proptest::collection::vec(-10.0f32..10.0, n..=n),
+        )),
+    ) {
+        let sum = ops::add(&a, &b);
+        prop_assert!(ops::norm(&sum) <= ops::norm(&a) + ops::norm(&b) + 1e-4);
+    }
+
+    /// im2col/col2im adjointness: <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn im2col_adjoint(seed in 0u64..1000, pad in 0usize..2, stride in 1usize..3) {
+        let spec = conv::Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 3,
+            stride,
+            padding: pad,
+        };
+        let (h, w) = (6, 6);
+        let mut rng = Prng::seed_from_u64(seed);
+        let x = Tensor::randn(&[2 * h * w][..], 1.0, &mut rng);
+        let cols = conv::im2col(x.data(), h, w, &spec);
+        let y = Tensor::randn(cols.shape().clone(), 1.0, &mut rng);
+        let lhs = ops::dot(cols.data(), y.data());
+        let back = conv::col2im(&y, h, w, &spec);
+        let rhs = ops::dot(x.data(), &back);
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    /// Dirichlet draws are simplex points for any shape/seed.
+    #[test]
+    fn dirichlet_simplex(alpha in 0.05f64..10.0, k in 1usize..20, seed in 0u64..500) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let p = rng.dirichlet(alpha, k);
+        prop_assert_eq!(p.len(), k);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+    }
+
+    /// `below(n)` is always within range.
+    #[test]
+    fn below_in_range(bound in 1usize..10_000, seed in 0u64..100) {
+        let mut rng = Prng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Compute vs. communication: the paper evaluates time-to-accuracy on
+//! compute alone and notes that when network transmission dominates,
+//! round count is what matters. This example puts both on one axis
+//! with the `CommModel`, and shows how top-k upload compression shifts
+//! the balance.
+//!
+//! Run with: `cargo run --release --example communication_tradeoff`
+
+use std::sync::Arc;
+
+use taco::core::compress::{Compressor, NoCompression, TopK, Uniform8Bit};
+use taco::core::{FedAvg, HyperParams};
+use taco::data::{partition, vision, FederatedDataset};
+use taco::nn::{Model, PaperCnn};
+use taco::sim::comm::{time_to_accuracy_with_comm, CommModel};
+use taco::sim::{SimConfig, Simulation};
+use taco::tensor::Prng;
+
+fn main() {
+    let seed = 31;
+    let clients = 6;
+    let rounds = 12;
+    let target = 0.6;
+
+    let mut rng = Prng::seed_from_u64(seed);
+    let spec = vision::VisionSpec::fmnist_like().with_sizes(900, 240);
+    let data = vision::generate(&spec, &mut rng);
+    let (shards, _) = partition::synthetic_groups(data.train.labels(), clients, &mut rng);
+    let fed = FederatedDataset::from_partition(data.train, data.test, &shards);
+    let hyper = HyperParams::new(clients, 12, 0.03, 16);
+
+    let mut model_rng = Prng::seed_from_u64(seed);
+    let mut proto = PaperCnn::for_image(1, 28, 10, &mut model_rng);
+    let params = proto.param_count();
+    println!("model: {params} parameters\n");
+
+    let codecs: Vec<Arc<dyn Compressor>> = vec![
+        Arc::new(NoCompression),
+        Arc::new(Uniform8Bit),
+        Arc::new(TopK::new(0.05)),
+    ];
+    println!(
+        "{:<14} {:>10} {:>12} {:>16} {:>16}",
+        "upload codec", "final acc", "MB uploaded", "t@60% broadband", "t@60% cellular"
+    );
+    for codec in codecs {
+        let name = codec.name();
+        let config = SimConfig::new(hyper, rounds, seed).with_compressor(codec.clone());
+        let history =
+            Simulation::new(fed.clone(), proto.clone_model(), Box::new(FedAvg::default()), config)
+                .run();
+        let acc = history.accuracy_series();
+        let secs = history.per_round_seconds();
+        let mb = history.total_upload_bytes() as f64 / 1e6;
+        let per_round_bytes = codec.payload_bytes(params);
+        let report = |link: CommModel| -> String {
+            let comm = link.round_seconds(per_round_bytes, params * 4);
+            let (t, reached) = time_to_accuracy_with_comm(&acc, &secs, comm, target);
+            if reached {
+                format!("{t:.1}s")
+            } else {
+                "not reached".to_string()
+            }
+        };
+        println!(
+            "{:<14} {:>9.1}% {:>11.2}M {:>16} {:>16}",
+            name,
+            history.final_accuracy() * 100.0,
+            mb,
+            report(CommModel::edge_broadband()),
+            report(CommModel::cellular()),
+        );
+    }
+    println!(
+        "\nOn the constrained link the compressed runs win even if they
+need an extra round or two — the regime the paper's Section V-A
+describes, now measurable end-to-end."
+    );
+}

@@ -1,0 +1,54 @@
+//! Freeloader detection: a federation where 40% of the clients are
+//! lazy freeloaders that re-upload the global update instead of
+//! training (Section IV-A / Table VIII of the paper).
+//!
+//! Run with: `cargo run --release --example freeloader_detection`
+
+use taco::core::taco::TacoConfig;
+use taco::core::{HyperParams, Taco};
+use taco::data::{partition, vision, FederatedDataset};
+use taco::nn::PaperCnn;
+use taco::sim::detection;
+use taco::sim::freeloader::with_freeloaders;
+use taco::sim::{SimConfig, Simulation};
+use taco::tensor::Prng;
+
+fn main() {
+    let seed = 7;
+    let clients = 10;
+    let freeloaders = 4; // 40%, as in the paper
+    let rounds = 10;
+
+    let mut rng = Prng::seed_from_u64(seed);
+    let spec = vision::VisionSpec::fmnist_like().with_sizes(800, 200);
+    let data = vision::generate(&spec, &mut rng);
+    let (shards, _) = partition::synthetic_groups(data.train.labels(), clients, &mut rng);
+    let fed = FederatedDataset::from_partition(data.train, data.test, &shards);
+
+    let hyper = HyperParams::new(clients, 10, 0.03, 16);
+    let behaviors = with_freeloaders(clients, freeloaders);
+    println!("clients 0..{freeloaders} are freeloaders\n");
+
+    // TACO with the paper's default thresholds: kappa = 0.6, lambda = T/5.
+    let taco = Taco::new(clients, TacoConfig::paper_default(rounds, 10));
+    let mut mrng = Prng::seed_from_u64(seed);
+    let model = PaperCnn::for_image(1, 28, 10, &mut mrng);
+    let config = SimConfig::new(hyper, rounds, seed).with_behaviors(behaviors.clone());
+    let history = Simulation::new(fed, Box::new(model), Box::new(taco), config).run();
+
+    for rec in &history.rounds {
+        let alphas = rec.alphas.as_ref().expect("TACO records alphas");
+        let shown: Vec<String> = alphas.iter().map(|a| format!("{a:.2}")).collect();
+        println!(
+            "round {:>2}: alphas [{}] expelled {}",
+            rec.round + 1,
+            shown.join(" "),
+            rec.expelled
+        );
+    }
+
+    let score = detection::score(&history.expelled_clients, &behaviors);
+    println!("\nexpelled clients: {:?}", history.expelled_clients);
+    println!("detection: {score}");
+    println!("final accuracy: {:.1}%", history.final_accuracy() * 100.0);
+}

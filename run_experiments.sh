@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs every table/figure experiment binary and logs output to
+# results/logs/. Heavier bins run last. TACO_SCALE=paper enlarges all
+# workloads; TACO_SEEDS=n averages the accuracy experiments over n
+# seeds.
+set -x
+mkdir -p results/logs
+for exp in table1 fig7 table8 table2 fig5 table3 fig6 ablation_alpha \
+           ext_baselines ext_compression ext_comm_regimes fig2 fig4 table6 table5; do
+  ./target/release/$exp > results/logs/$exp.log 2>&1 || echo "FAILED: $exp" >> results/logs/failures.txt
+  echo "done $exp"
+done
+TACO_CLIENTS=40 ./target/release/table7 > results/logs/table7.log 2>&1 || echo "FAILED: table7" >> results/logs/failures.txt
+echo ALL_DONE

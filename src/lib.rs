@@ -1,0 +1,14 @@
+//! Facade crate re-exporting the TACO reproduction public API.
+//!
+//! See the individual crates for details:
+//! - [`taco_tensor`] — dense tensor math substrate
+//! - [`taco_nn`] — neural networks with manual backprop
+//! - [`taco_data`] — synthetic federated datasets and partitioners
+//! - [`taco_core`] — FL algorithms (TACO + six baselines)
+//! - [`taco_sim`] — federated simulation runtime
+
+pub use taco_core as core;
+pub use taco_data as data;
+pub use taco_nn as nn;
+pub use taco_sim as sim;
+pub use taco_tensor as tensor;

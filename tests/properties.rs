@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the paper's core invariants.
+
+use proptest::prelude::*;
+use taco::core::alpha;
+use taco::core::{ClientUpdate, FedAvg, FederatedAlgorithm, HyperParams};
+use taco::data::partition;
+use taco::tensor::{ops, Prng};
+
+fn update(client: usize, delta: Vec<f32>) -> ClientUpdate {
+    ClientUpdate {
+        client,
+        delta,
+        num_samples: 1,
+        final_v: None,
+        mean_loss: 0.0,
+        grad_evals: 0,
+        steps: 1,
+        compute_seconds: 0.0,
+    }
+}
+
+/// Strategy: a small set of bounded, non-degenerate delta vectors of a
+/// shared dimension.
+fn delta_set() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (2usize..6, 2usize..8).prop_flat_map(|(n, dim)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, dim..=dim),
+            n..=n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 7's coefficients always live in [0, 1].
+    #[test]
+    fn alpha_in_unit_interval(deltas in delta_set()) {
+        let views: Vec<&[f32]> = deltas.iter().map(Vec::as_slice).collect();
+        let alphas = alpha::correction_coefficients(&views);
+        prop_assert_eq!(alphas.len(), deltas.len());
+        for a in alphas {
+            prop_assert!((0.0..=1.0).contains(&a), "alpha {} out of range", a);
+        }
+    }
+
+    /// Scaling every delta by the same positive factor leaves Eq. 7
+    /// unchanged (the coefficient is scale-free).
+    #[test]
+    fn alpha_is_scale_invariant(deltas in delta_set(), scale in 0.1f32..10.0) {
+        let views: Vec<&[f32]> = deltas.iter().map(Vec::as_slice).collect();
+        let base = alpha::correction_coefficients(&views);
+        let scaled: Vec<Vec<f32>> = deltas
+            .iter()
+            .map(|d| d.iter().map(|x| x * scale).collect())
+            .collect();
+        let views2: Vec<&[f32]> = scaled.iter().map(Vec::as_slice).collect();
+        let after = alpha::correction_coefficients(&views2);
+        for (b, a) in base.iter().zip(&after) {
+            prop_assert!((b - a).abs() < 1e-3, "{} vs {}", b, a);
+        }
+    }
+
+    /// The extrapolated output z_t (Eq. 15) is exact linear
+    /// extrapolation: alpha = 1 returns w_t, alpha = 0 doubles the step.
+    #[test]
+    fn extrapolation_endpoints(
+        (w, step) in (1usize..6).prop_flat_map(|n| (
+            proptest::collection::vec(-5.0f32..5.0, n..=n),
+            proptest::collection::vec(-1.0f32..1.0, n..=n),
+        )),
+    ) {
+        let prev: Vec<f32> = w.iter().zip(&step).map(|(a, b)| a - b).collect();
+        let z1 = alpha::extrapolated_output(&w, &prev, 1.0);
+        for (a, b) in z1.iter().zip(&w) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        let z0 = alpha::extrapolated_output(&w, &prev, 0.0);
+        for ((z, wv), s) in z0.iter().zip(&w).zip(&step) {
+            prop_assert!((z - (wv + s)).abs() < 1e-5);
+        }
+    }
+
+    /// FedAvg aggregation is permutation-invariant in the client order.
+    #[test]
+    fn fedavg_is_permutation_invariant(deltas in delta_set(), perm_seed in 0u64..1000) {
+        let dim = deltas[0].len();
+        let global = vec![0.0f32; dim];
+        let hyper = HyperParams::new(deltas.len(), 4, 0.1, 8);
+        let updates: Vec<ClientUpdate> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| update(i, d.clone()))
+            .collect();
+        let mut alg1 = FedAvg::default();
+        let next1 = alg1.aggregate(&global, &updates, &hyper);
+        let mut shuffled = updates;
+        let mut rng = Prng::seed_from_u64(perm_seed);
+        rng.shuffle(&mut shuffled);
+        let mut alg2 = FedAvg::default();
+        let next2 = alg2.aggregate(&global, &shuffled, &hyper);
+        for (a, b) in next1.iter().zip(&next2) {
+            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    /// Partitioners conserve samples: every index appears exactly once.
+    #[test]
+    fn partitions_are_exact(
+        n in 20usize..200,
+        classes in 2usize..11,
+        clients in 1usize..12,
+        phi in 0.05f64..5.0,
+        seed in 0u64..500,
+    ) {
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let mut rng = Prng::seed_from_u64(seed);
+        for shards in [
+            partition::iid(&labels, clients, &mut rng),
+            partition::dirichlet(&labels, clients, phi, &mut rng),
+            partition::synthetic_groups(&labels, clients, &mut rng).0,
+        ] {
+            let mut seen = vec![false; n];
+            for s in &shards {
+                for &i in s {
+                    prop_assert!(!seen[i], "duplicate sample {}", i);
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "lost a sample");
+        }
+    }
+
+    /// The weighted mean lies inside the convex hull coordinate-wise.
+    #[test]
+    fn weighted_mean_is_convex(
+        deltas in delta_set(),
+        wseed in 0u64..100,
+    ) {
+        let views: Vec<&[f32]> = deltas.iter().map(Vec::as_slice).collect();
+        let mut rng = Prng::seed_from_u64(wseed);
+        let weights: Vec<f32> = (0..deltas.len())
+            .map(|_| rng.uniform_f32() + 0.01)
+            .collect();
+        let mean = ops::weighted_mean(&views, &weights);
+        for j in 0..mean.len() {
+            let lo = views.iter().map(|v| v[j]).fold(f32::INFINITY, f32::min);
+            let hi = views.iter().map(|v| v[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(mean[j] >= lo - 1e-4 && mean[j] <= hi + 1e-4);
+        }
+    }
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_symmetric_bounded(
+        (a, b) in (1usize..32).prop_flat_map(|n| (
+            proptest::collection::vec(-100.0f32..100.0, n..=n),
+            proptest::collection::vec(-100.0f32..100.0, n..=n),
+        )),
+    ) {
+        let ab = ops::cosine_similarity(&a, &b);
+        let ba = ops::cosine_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+    }
+}
