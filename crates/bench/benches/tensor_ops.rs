@@ -1,25 +1,44 @@
-//! Criterion microbenchmarks for the tensor substrate (matmul, conv,
-//! and the flat-vector kernels every FL aggregation step uses).
+//! Microbenchmarks for the tensor substrate (matmul, conv, and the
+//! flat-vector kernels every FL aggregation step uses). Std-only
+//! harness: warm-up, then best / mean wall-clock over a fixed
+//! iteration count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 use taco_tensor::conv::{conv2d_forward, Conv2dSpec};
 use taco_tensor::{linalg, ops, Prng, Tensor};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
-    group.sample_size(20);
+fn time<F: FnMut()>(label: &str, iters: usize, mut f: F) {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        total += secs;
+    }
+    println!(
+        "{label:<32} best {:>9.3} us   mean {:>9.3} us   ({iters} iters)",
+        best * 1e6,
+        total * 1e6 / iters as f64
+    );
+}
+
+fn bench_matmul() {
+    println!("== matmul ==");
     for &n in &[16usize, 64, 128] {
         let mut rng = Prng::seed_from_u64(1);
         let a = Tensor::randn([n, n], 1.0, &mut rng);
         let b = Tensor::randn([n, n], 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| linalg::matmul(&a, &b))
+        time(&format!("matmul/{n}"), 20, || {
+            black_box(linalg::matmul(&a, &b));
         });
     }
-    group.finish();
 }
 
-fn bench_conv(c: &mut Criterion) {
+fn bench_conv() {
     let mut rng = Prng::seed_from_u64(2);
     let spec = Conv2dSpec {
         in_channels: 8,
@@ -31,31 +50,33 @@ fn bench_conv(c: &mut Criterion) {
     let input = Tensor::randn([8 * 24 * 24], 1.0, &mut rng);
     let weight = Tensor::randn([16, 8 * 25], 0.1, &mut rng);
     let bias = vec![0.0f32; 16];
-    let mut group = c.benchmark_group("conv2d");
-    group.sample_size(20);
-    group.bench_function("forward_24x24_8to16", |b| {
-        b.iter(|| conv2d_forward(input.data(), 24, 24, &weight, &bias, &spec))
+    println!("== conv2d ==");
+    time("conv2d/forward_24x24_8to16", 20, || {
+        black_box(conv2d_forward(input.data(), 24, 24, &weight, &bias, &spec));
     });
-    group.finish();
 }
 
-fn bench_flat_ops(c: &mut Criterion) {
+fn bench_flat_ops() {
     let mut rng = Prng::seed_from_u64(3);
     let dim = 100_000;
     let a = Tensor::randn([dim], 1.0, &mut rng).into_vec();
     let b = Tensor::randn([dim], 1.0, &mut rng).into_vec();
-    let mut group = c.benchmark_group("flat_ops_100k");
-    group.bench_function("dot", |bench| bench.iter(|| ops::dot(&a, &b)));
-    group.bench_function("cosine_similarity", |bench| {
-        bench.iter(|| ops::cosine_similarity(&a, &b))
+    println!("== flat_ops_100k ==");
+    time("flat_ops/dot", 100, || {
+        black_box(ops::dot(&a, &b));
     });
-    group.bench_function("weighted_mean_4", |bench| {
-        let vs: Vec<&[f32]> = vec![&a, &b, &a, &b];
-        let w = [1.0f32, 2.0, 3.0, 4.0];
-        bench.iter(|| ops::weighted_mean(&vs, &w))
+    time("flat_ops/cosine_similarity", 100, || {
+        black_box(ops::cosine_similarity(&a, &b));
     });
-    group.finish();
+    let vs: Vec<&[f32]> = vec![&a, &b, &a, &b];
+    let w = [1.0f32, 2.0, 3.0, 4.0];
+    time("flat_ops/weighted_mean_4", 100, || {
+        black_box(ops::weighted_mean(&vs, &w));
+    });
 }
 
-criterion_group!(benches, bench_matmul, bench_conv, bench_flat_ops);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_conv();
+    bench_flat_ops();
+}

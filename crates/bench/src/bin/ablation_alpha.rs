@@ -9,6 +9,7 @@ use taco_core::Taco;
 
 fn main() {
     banner(
+        "ablation_alpha",
         "Ablation: Eq. 7 design variants",
         "the full formula (clamped cosine x magnitude) should dominate its ablations",
     );
@@ -24,7 +25,8 @@ fn main() {
     for ds in ["fmnist", "adult"] {
         let w = workload(ds, clients, 61, scale, None);
         for (label, variant) in variants {
-            let cfg = TacoConfig::paper_default(w.rounds, w.hyper.local_steps).with_extrapolated_output(false)
+            let cfg = TacoConfig::paper_default(w.rounds, w.hyper.local_steps)
+                .with_extrapolated_output(false)
                 .with_alpha_variant(variant);
             let alg = Box::new(Taco::new(clients, cfg));
             let history = run(&w, alg, 61, None, false);

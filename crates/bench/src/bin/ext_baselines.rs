@@ -9,6 +9,7 @@ use taco_sim::{SimConfig, Simulation};
 
 fn main() {
     banner(
+        "ext_baselines",
         "Extension: FedNova/FedDyn baselines + partial participation",
         "(not in the paper) TACO should stay competitive under both",
     );

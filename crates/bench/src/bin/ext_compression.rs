@@ -11,6 +11,7 @@ use taco_sim::{SimConfig, Simulation};
 
 fn main() {
     banner(
+        "ext_compression",
         "Extension: upload compression x algorithm",
         "(not in the paper) top-k/8-bit uploads vs accuracy and bytes",
     );
@@ -27,10 +28,8 @@ fn main() {
     for alg_name in ["FedAvg", "TACO"] {
         for codec in &codecs {
             let alg = algorithm_by_name(alg_name, clients, w.rounds, w.hyper.local_steps);
-            let config =
-                SimConfig::new(w.hyper, w.rounds, 37).with_compressor(codec.clone());
-            let history =
-                Simulation::new(w.fed.clone(), w.model.clone_model(), alg, config).run();
+            let config = SimConfig::new(w.hyper, w.rounds, 37).with_compressor(codec.clone());
+            let history = Simulation::new(w.fed.clone(), w.model.clone_model(), alg, config).run();
             rows.push(vec![
                 alg_name.to_string(),
                 codec.name().to_string(),

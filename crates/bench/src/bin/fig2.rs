@@ -9,6 +9,7 @@ use taco_bench::{all_algorithms, banner, report, run, workload, Scale};
 
 fn main() {
     banner(
+        "fig2",
         "Fig. 2: round- and time-to-accuracy re-evaluation",
         "FedProx/Scaffold unstable or divergent; STEM good per round but slow per second; TACO best overall",
     );
@@ -44,11 +45,7 @@ fn main() {
                         ]);
                     }
                     for (t, acc) in history.accuracy_vs_time() {
-                        time_rows.push(vec![
-                            name.clone(),
-                            format!("{t:.3}"),
-                            format!("{acc:.4}"),
-                        ]);
+                        time_rows.push(vec![name.clone(), format!("{t:.3}"), format!("{acc:.4}")]);
                     }
                 }
                 finals.push(history.final_accuracy() * 100.0);

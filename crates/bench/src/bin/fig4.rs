@@ -9,6 +9,7 @@ use taco_bench::{all_algorithms, banner, format_rounds, report, run, workload, S
 
 fn main() {
     banner(
+        "fig4",
         "Fig. 4: cumulative client time to target accuracy",
         "TACO fastest (−25.6% to −62.7% vs FedAvg); STEM slowest despite good rounds; FedProx/Scaffold fail on SVHN",
     );
@@ -45,7 +46,14 @@ fn main() {
     }
     report(
         "fig4",
-        &["dataset", "algorithm", "target", "time to target", "rounds", "vs FedAvg"],
+        &[
+            "dataset",
+            "algorithm",
+            "target",
+            "time to target",
+            "rounds",
+            "vs FedAvg",
+        ],
         &rows,
     );
 }

@@ -9,6 +9,7 @@ use taco_tensor::stats;
 
 fn main() {
     banner(
+        "fig5",
         "Fig. 5: local computation time per FL round (median over rounds)",
         "FoolsGold ≈ FedAvg < TACO < Scaffold < FedProx ≈ FedACG << STEM",
     );

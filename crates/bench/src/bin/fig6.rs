@@ -9,6 +9,7 @@ use taco_bench::{algorithm_by_name, banner, report, run, workload, Scale};
 
 fn main() {
     banner(
+        "fig6",
         "Fig. 6: prior methods improved by TACO's tailored coefficients",
         "FedProx+TACO > FedProx and Scaffold+TACO > Scaffold on FMNIST and SVHN",
     );
@@ -46,7 +47,13 @@ fn main() {
     }
     report(
         "fig6",
-        &["dataset", "baseline", "uniform coeff.", "tailored coeff.", "gain"],
+        &[
+            "dataset",
+            "baseline",
+            "uniform coeff.",
+            "tailored coeff.",
+            "gain",
+        ],
         &rows,
     );
 }

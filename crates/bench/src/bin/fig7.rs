@@ -10,6 +10,7 @@ use taco_core::Taco;
 
 fn main() {
     banner(
+        "fig7",
         "Fig. 7: sensitivity of gamma",
         "optimum near gamma = 1/K; gamma too large can break convergence",
     );
@@ -29,7 +30,8 @@ fn main() {
         let w = workload(ds, clients, 91, scale, None);
         let k_inv = 1.0 / w.hyper.local_steps as f32;
         for &gamma in &gammas {
-            let base = TacoConfig::paper_default(w.rounds, w.hyper.local_steps).with_extrapolated_output(false);
+            let base = TacoConfig::paper_default(w.rounds, w.hyper.local_steps)
+                .with_extrapolated_output(false);
             let cfg = if gamma == 0.0 {
                 base.with_ablation(false, true)
             } else {
@@ -40,9 +42,17 @@ fn main() {
             rows.push(vec![
                 ds.to_string(),
                 format!("{gamma}"),
-                if (gamma - k_inv).abs() < 1e-6 { "1/K".into() } else { String::new() },
+                if (gamma - k_inv).abs() < 1e-6 {
+                    "1/K".into()
+                } else {
+                    String::new()
+                },
                 format!("{:.2}%", history.final_accuracy() * 100.0),
-                if history.diverged(w.chance) { "diverged".into() } else { String::new() },
+                if history.diverged(w.chance) {
+                    "diverged".into()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }

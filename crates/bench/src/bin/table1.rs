@@ -11,6 +11,7 @@ use taco_bench::{all_algorithms, banner, report, run, workload, Scale};
 
 fn main() {
     banner(
+        "table1",
         "Table I: computation time per 100 local updates (CNN)",
         "FMNIST: FedAvg 0.323s; +23.5% FedProx, +7.7% Scaffold, +40.9% STEM, +24.2% FedACG, +0% FoolsGold",
     );
@@ -40,10 +41,7 @@ fn main() {
             // Mean per-client seconds in the corrected rounds, scaled
             // to 100 local updates.
             let steady = &history.rounds[1..];
-            let per_client = steady
-                .iter()
-                .map(|r| r.total_client_seconds)
-                .sum::<f64>()
+            let per_client = steady.iter().map(|r| r.total_client_seconds).sum::<f64>()
                 / (steady.len() as f64 * clients as f64);
             let per_100 = per_client * 100.0 / w.hyper.local_steps as f64;
             let overhead = match base {

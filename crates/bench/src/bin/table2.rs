@@ -12,6 +12,7 @@ use taco_tensor::stats::MeanStd;
 
 fn main() {
     banner(
+        "table2",
         "Table II: average correction coefficient by client group",
         "Group A ~0.2 < Group B ~0.3 < Group C ~0.4 << freeloaders ~0.8",
     );
@@ -37,7 +38,8 @@ fn main() {
         // not expel them.
         let cfg = taco_core::taco::TacoConfig {
             detect_freeloaders: false,
-            ..taco_core::taco::TacoConfig::paper_default(w.rounds, w.hyper.local_steps).with_extrapolated_output(false)
+            ..taco_core::taco::TacoConfig::paper_default(w.rounds, w.hyper.local_steps)
+                .with_extrapolated_output(false)
         };
         let alg = Box::new(taco_core::Taco::new(clients, cfg));
         let history = run(&w, alg, 33, Some(behaviors.clone()), false);

@@ -16,19 +16,52 @@ struct Caps {
 
 fn capabilities(name: &str) -> Caps {
     match name {
-        "FedAvg" => Caps { local: "x", agg: "x", detect: "x" },
-        "FedProx" => Caps { local: "yes", agg: "x", detect: "x" },
-        "Scaffold" => Caps { local: "yes", agg: "x", detect: "x" },
-        "FoolsGold" => Caps { local: "x", agg: "yes", detect: "x" },
-        "STEM" => Caps { local: "yes", agg: "yes", detect: "x" },
-        "FedACG" => Caps { local: "yes", agg: "yes", detect: "x" },
-        "TACO" => Caps { local: "yes", agg: "yes", detect: "yes" },
-        _ => Caps { local: "?", agg: "?", detect: "?" },
+        "FedAvg" => Caps {
+            local: "x",
+            agg: "x",
+            detect: "x",
+        },
+        "FedProx" => Caps {
+            local: "yes",
+            agg: "x",
+            detect: "x",
+        },
+        "Scaffold" => Caps {
+            local: "yes",
+            agg: "x",
+            detect: "x",
+        },
+        "FoolsGold" => Caps {
+            local: "x",
+            agg: "yes",
+            detect: "x",
+        },
+        "STEM" => Caps {
+            local: "yes",
+            agg: "yes",
+            detect: "x",
+        },
+        "FedACG" => Caps {
+            local: "yes",
+            agg: "yes",
+            detect: "x",
+        },
+        "TACO" => Caps {
+            local: "yes",
+            agg: "yes",
+            detect: "yes",
+        },
+        _ => Caps {
+            local: "?",
+            agg: "?",
+            detect: "?",
+        },
     }
 }
 
 fn main() {
     banner(
+        "table3",
         "Table III: capability matrix + client time per round (residual net, CIFAR-100-equivalent)",
         "TACO is the only algorithm with all three capabilities at Low overhead; STEM is High",
     );

@@ -9,6 +9,7 @@ use taco_bench::{all_algorithms, banner, format_rounds, report, run, workload, S
 
 fn main() {
     banner(
+        "table5",
         "Table V: round-to-accuracy across datasets",
         "TACO best accuracy on all 6 datasets; FedProx/Scaffold diverge on SVHN; STEM strong per-round",
     );
@@ -18,7 +19,14 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
-    let datasets = ["adult", "fmnist", "svhn", "cifar10", "cifar100", "shakespeare"];
+    let datasets = [
+        "adult",
+        "fmnist",
+        "svhn",
+        "cifar10",
+        "cifar100",
+        "shakespeare",
+    ];
     let mut rows = Vec::new();
     for ds in datasets {
         for alg_idx in 0..7 {

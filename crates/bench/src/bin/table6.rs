@@ -12,6 +12,7 @@ use taco_core::Taco;
 
 fn main() {
     banner(
+        "table6",
         "Table VI: ablation (tailored correction x tailored aggregation)",
         "correction contributes more than aggregation; both together are best",
     );
@@ -32,7 +33,8 @@ fn main() {
         ];
         for (ds, part) in settings {
             let w = workload(ds, clients, 55, scale, Some(part));
-            let cfg = TacoConfig::paper_default(w.rounds, w.hyper.local_steps).with_extrapolated_output(false)
+            let cfg = TacoConfig::paper_default(w.rounds, w.hyper.local_steps)
+                .with_extrapolated_output(false)
                 .with_ablation(corr, agg);
             let alg = Box::new(Taco::new(clients, cfg));
             let history = run(&w, alg, 55, None, false);

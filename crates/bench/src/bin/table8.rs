@@ -12,6 +12,7 @@ use taco_sim::freeloader::with_freeloaders;
 
 fn main() {
     banner(
+        "table8",
         "Table VIII: sensitivity of detection thresholds (FMNIST, 40% freeloaders)",
         "kappa 0.5-0.8 with lambda=T/5: TPR 100%, FPR 0%; kappa=1.0: TPR 0%",
     );
@@ -30,7 +31,8 @@ fn main() {
     for &kappa in &kappas {
         let mut row = vec![format!("{kappa:.1}")];
         for &(_, lambda) in &lambdas {
-            let cfg = TacoConfig::paper_default(w.rounds, w.hyper.local_steps).with_extrapolated_output(false)
+            let cfg = TacoConfig::paper_default(w.rounds, w.hyper.local_steps)
+                .with_extrapolated_output(false)
                 .with_detection(kappa as f32, lambda);
             let alg = Box::new(Taco::new(clients, cfg));
             let history = run(&w, alg, 81, Some(behaviors.clone()), false);

@@ -13,6 +13,8 @@
 #![deny(missing_docs)]
 
 use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use taco_core::taco::TacoConfig;
 use taco_core::{
@@ -23,6 +25,7 @@ use taco_data::{partition, tabular, text, vision, FederatedDataset};
 use taco_nn::{CharLstm, Mlp, Model, PaperCnn, TinyResNet};
 use taco_sim::{ClientBehavior, History, SimConfig, Simulation};
 use taco_tensor::Prng;
+use taco_trace::Value;
 
 /// Experiment scale knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,7 +176,12 @@ pub fn workload(
             let side = data.train.sample_dims()[1];
             let fed = FederatedDataset::from_partition(data.train, data.test, &shards);
             let model: Box<dyn Model> = if name == "cifar100" {
-                Box::new(TinyResNet::for_image(channels, side, classes, &mut model_rng))
+                Box::new(TinyResNet::for_image(
+                    channels,
+                    side,
+                    classes,
+                    &mut model_rng,
+                ))
             } else {
                 Box::new(PaperCnn::for_image(channels, side, classes, &mut model_rng))
             };
@@ -231,7 +239,11 @@ fn make_partition(
 /// The paper's seven algorithms with their default hyper-parameters
 /// (Section V-A): `ζ = 0.1`, SCAFFOLD `α = 1`, STEM `α_t = 0.2`,
 /// FedACG `β = 0.001`, TACO `γ = 1/K`, `κ = 0.6`, `λ = T/5`.
-pub fn all_algorithms(clients: usize, rounds: usize, local_steps: usize) -> Vec<Box<dyn FederatedAlgorithm>> {
+pub fn all_algorithms(
+    clients: usize,
+    rounds: usize,
+    local_steps: usize,
+) -> Vec<Box<dyn FederatedAlgorithm>> {
     vec![
         Box::new(FedAvg::new(AggWeighting::Uniform)),
         Box::new(FedProx::new(0.1)),
@@ -284,6 +296,9 @@ pub fn algorithm_by_name(
 
 /// Runs one algorithm on a workload. `sequential` disables parallel
 /// clients (timing experiments); `behaviors` defaults to all-honest.
+///
+/// Every call is recorded into the experiment's run manifest (written
+/// by [`report`] / [`report_csv_only`] next to the CSV artifact).
 pub fn run(
     w: &Workload,
     algorithm: Box<dyn FederatedAlgorithm>,
@@ -291,6 +306,7 @@ pub fn run(
     behaviors: Option<Vec<ClientBehavior>>,
     sequential: bool,
 ) -> History {
+    let algorithm_name = algorithm.name();
     let mut config = SimConfig::new(w.hyper, w.rounds, seed);
     if let Some(b) = behaviors {
         config = config.with_behaviors(b);
@@ -298,7 +314,137 @@ pub fn run(
     if sequential {
         config = config.sequential();
     }
-    Simulation::new(w.fed.clone(), w.model.clone_model(), algorithm, config).run()
+    let started = Instant::now();
+    let history = Simulation::new(w.fed.clone(), w.model.clone_model(), algorithm, config).run();
+    let wall_secs = started.elapsed().as_secs_f64();
+    record_run(w, algorithm_name, seed, sequential, wall_secs, &history);
+    history
+}
+
+// --- Run manifests -------------------------------------------------
+
+struct ManifestState {
+    slug: String,
+    title: String,
+    claim: String,
+    started: Instant,
+    runs: Vec<Value>,
+}
+
+static MANIFEST: Mutex<Option<ManifestState>> = Mutex::new(None);
+
+fn manifest_lock() -> std::sync::MutexGuard<'static, Option<ManifestState>> {
+    MANIFEST
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn record_run(
+    w: &Workload,
+    algorithm: &str,
+    seed: u64,
+    sequential: bool,
+    wall_secs: f64,
+    history: &History,
+) {
+    let mut guard = manifest_lock();
+    let Some(state) = guard.as_mut() else { return };
+    let entry = Value::object(vec![
+        ("workload".to_string(), Value::from(w.name.as_str())),
+        ("algorithm".to_string(), Value::from(algorithm)),
+        ("seed".to_string(), Value::from(seed)),
+        ("clients".to_string(), Value::from(w.hyper.num_clients)),
+        ("sequential".to_string(), Value::from(sequential)),
+        ("rounds_run".to_string(), Value::from(history.rounds.len())),
+        (
+            "final_accuracy".to_string(),
+            Value::from(history.final_accuracy()),
+        ),
+        (
+            "best_accuracy".to_string(),
+            Value::from(history.best_accuracy()),
+        ),
+        (
+            "upload_bytes".to_string(),
+            Value::from(history.total_upload_bytes()),
+        ),
+        (
+            "expelled".to_string(),
+            Value::from(history.expelled_clients.len()),
+        ),
+        ("wall_secs".to_string(), Value::from(wall_secs)),
+    ]);
+    state.runs.push(entry);
+}
+
+fn build_info() -> Value {
+    Value::object(vec![
+        (
+            "version".to_string(),
+            Value::from(env!("CARGO_PKG_VERSION")),
+        ),
+        (
+            "profile".to_string(),
+            Value::from(if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }),
+        ),
+        ("os".to_string(), Value::from(std::env::consts::OS)),
+        ("arch".to_string(), Value::from(std::env::consts::ARCH)),
+    ])
+}
+
+fn scale_info() -> Value {
+    let scale = Scale::from_env();
+    let name = match std::env::var("TACO_SCALE").as_deref() {
+        Ok("paper") => "paper",
+        _ => "quick",
+    };
+    Value::object(vec![
+        ("name".to_string(), Value::from(name)),
+        ("rounds".to_string(), Value::from(scale.rounds)),
+        ("local_steps".to_string(), Value::from(scale.local_steps)),
+        ("train_n".to_string(), Value::from(scale.train_n)),
+        ("test_n".to_string(), Value::from(scale.test_n)),
+        ("batch_size".to_string(), Value::from(scale.batch_size)),
+    ])
+}
+
+/// Writes (or rewrites) `results/<slug>_manifest.json` from the runs
+/// recorded so far. Called by [`report`] / [`report_csv_only`] after
+/// each CSV artifact so the manifest is complete by the time the
+/// binary exits, however many tables it prints.
+fn write_manifest() {
+    let guard = manifest_lock();
+    let Some(state) = guard.as_ref() else { return };
+    let manifest = Value::object(vec![
+        ("experiment".to_string(), Value::from(state.slug.as_str())),
+        ("title".to_string(), Value::from(state.title.as_str())),
+        ("paper_claim".to_string(), Value::from(state.claim.as_str())),
+        (
+            "unix_ms".to_string(),
+            Value::from(taco_trace::event::unix_ms_now()),
+        ),
+        ("build".to_string(), build_info()),
+        ("scale".to_string(), scale_info()),
+        (
+            "total_wall_secs".to_string(),
+            Value::from(state.started.elapsed().as_secs_f64()),
+        ),
+        ("runs".to_string(), Value::Array(state.runs.clone())),
+        ("trace".to_string(), taco_trace::snapshot().to_value()),
+    ]);
+    let path = std::path::Path::new("results").join(format!("{}_manifest.json", state.slug));
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all("results")?;
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", manifest.to_json())
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
 }
 
 /// Formats `rounds_to_accuracy`-style results the way the paper's
@@ -334,7 +480,10 @@ pub fn report(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", line(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -342,6 +491,7 @@ pub fn report(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     if let Err(e) = write_csv(name, headers, rows) {
         eprintln!("warning: could not write results/{name}.csv: {e}");
     }
+    write_manifest();
 }
 
 /// Writes rows to `results/<name>.csv` without printing a table (used
@@ -350,6 +500,7 @@ pub fn report_csv_only(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     if let Err(e) = write_csv(name, headers, rows) {
         eprintln!("warning: could not write results/{name}.csv: {e}");
     }
+    write_manifest();
 }
 
 fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
@@ -375,8 +526,21 @@ fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Res
 
 /// Paper-vs-measured banner printed at the top of every experiment
 /// binary.
-pub fn banner(exp: &str, paper_claim: &str) {
-    println!("== {exp} ==");
+///
+/// `slug` names the experiment's artifacts (`results/<slug>.csv`,
+/// `results/<slug>_manifest.json`); `title` and `paper_claim` are the
+/// human-readable header. Also initialises JSONL tracing from the
+/// `TACO_TRACE` environment variable and starts the run manifest.
+pub fn banner(slug: &str, title: &str, paper_claim: &str) {
+    taco_trace::init_from_env();
+    *manifest_lock() = Some(ManifestState {
+        slug: slug.to_string(),
+        title: title.to_string(),
+        claim: paper_claim.to_string(),
+        started: Instant::now(),
+        runs: Vec::new(),
+    });
+    println!("== {title} ==");
     println!("paper: {paper_claim}");
     println!();
 }

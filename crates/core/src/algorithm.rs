@@ -5,7 +5,7 @@ use crate::update::{ClientUpdate, LocalRule};
 
 /// How aggregation weights `p_i` are chosen in Eq. 6 when the
 /// algorithm itself does not prescribe them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggWeighting {
     /// `p_i = 1/N`.
     Uniform,
@@ -17,7 +17,7 @@ pub enum AggWeighting {
 /// simulator's analytic cost model (Table I / Table III / Fig. 5
 /// report the *measured* numbers; the profile lets the harness verify
 /// the measured ratios against the arithmetic the paper describes).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostProfile {
     /// Gradient evaluations per local step (2 for STEM).
     pub grads_per_step: usize,
@@ -75,6 +75,14 @@ pub trait FederatedAlgorithm: Send {
     /// algorithm computes them (TACO and the tailored hybrids).
     fn alphas(&self) -> Option<&[f32]> {
         None
+    }
+
+    /// Whether clients must upload their final momentum buffer `v_i`
+    /// alongside `Δ_i` (STEM-style algorithms). Lets the runner size
+    /// freeloader payloads without probing `local_rule` before
+    /// `begin_round` has seen the first round.
+    fn uploads_momentum(&self) -> bool {
+        false
     }
 
     /// The algorithm's static per-step compute profile.

@@ -16,7 +16,7 @@ use taco_tensor::ops;
 
 /// Design variants of Eq. 7, used by the `ablation_alpha` bench to
 /// justify the two factors (DESIGN.md §5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AlphaVariant {
     /// The paper's Eq. 7: magnitude factor × clamped cosine.
     #[default]
@@ -147,10 +147,7 @@ mod tests {
         let small = vec![1.0f32, 0.0];
         let big = vec![10.0f32, 0.0];
         let a = correction_coefficients(&[&small, &big]);
-        assert!(
-            a[0] > a[1],
-            "big client should have smaller alpha: {a:?}"
-        );
+        assert!(a[0] > a[1], "big client should have smaller alpha: {a:?}");
     }
 
     #[test]
@@ -160,7 +157,10 @@ mod tests {
         let skewed = vec![0.1f32, 1.0];
         let third = vec![1.0f32, 0.0];
         let a = correction_coefficients(&[&aligned, &skewed, &third]);
-        assert!(a[0] > a[1], "aligned client should have larger alpha: {a:?}");
+        assert!(
+            a[0] > a[1],
+            "aligned client should have larger alpha: {a:?}"
+        );
     }
 
     #[test]

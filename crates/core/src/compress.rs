@@ -29,7 +29,7 @@ pub trait Compressor: Send + Sync {
 }
 
 /// Keeps the `k` largest-magnitude coordinates (ties broken by index).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopK {
     /// Fraction of coordinates kept, in `(0, 1]`.
     pub keep_fraction: f64,
@@ -88,7 +88,7 @@ impl Compressor for TopK {
 
 /// Per-vector affine 8-bit quantization: values are mapped to 256
 /// uniform levels between the vector's min and max.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Uniform8Bit;
 
 impl Compressor for Uniform8Bit {
@@ -123,7 +123,7 @@ impl Compressor for Uniform8Bit {
 }
 
 /// An identity codec (baseline for the trade-off sweeps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NoCompression;
 
 impl Compressor for NoCompression {

@@ -110,9 +110,8 @@ impl FederatedAlgorithm for FedAcg {
         // update): m_{t+1} = λ·m_t − η_g·Δ̄_t, w_{t+1} = w_t + m_{t+1}.
         // This is Algorithm 1's line 10 with the momentum folded in
         // exactly once.
-        for j in 0..self.momentum.len() {
-            self.momentum[j] =
-                self.momentum_decay * self.momentum[j] - hyper.eta_g * agg[j];
+        for (m, &a) in self.momentum.iter_mut().zip(&agg) {
+            *m = self.momentum_decay * *m - hyper.eta_g * a;
         }
         ops::add(global, &self.momentum)
     }
@@ -185,7 +184,11 @@ mod tests {
         let mut alg = FedAcg::new(0.0);
         let hyper = HyperParams::new(2, 1, 1.0, 1);
         alg.begin_round(0, &[0.0]);
-        let next = alg.aggregate(&[0.0], &[upd(0, vec![1.0], 9), upd(1, vec![0.0], 1)], &hyper);
+        let next = alg.aggregate(
+            &[0.0],
+            &[upd(0, vec![1.0], 9), upd(1, vec![0.0], 1)],
+            &hyper,
+        );
         // Weighted mean Δ̄ = 0.9; m₁ = −η_g·0.9 = −0.9; w = 0 − 0.9.
         assert!((next[0] + 0.9).abs() < 1e-5, "got {}", next[0]);
     }

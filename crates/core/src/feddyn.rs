@@ -104,12 +104,11 @@ impl FederatedAlgorithm for FedDyn {
     ) -> Vec<f32> {
         assert!(!updates.is_empty(), "aggregate with no updates");
         self.ensure_dim(global.len());
-        let dim = global.len();
         // h_i ← h_i + α·Δ_i  (Δ_i = w_t − w_i, i.e. −drift).
         for u in updates {
             let h = &mut self.h_clients[u.client];
-            for j in 0..dim {
-                h[j] += self.alpha * u.delta[j];
+            for (hj, &dj) in h.iter_mut().zip(&u.delta) {
+                *hj += self.alpha * dj;
             }
         }
         // FedAvg server step (see module docs).

@@ -72,8 +72,8 @@ impl FederatedAlgorithm for FedNova {
         let dim = global.len();
         let mut normalized = vec![0.0f64; dim];
         for ((u, &p), &tau) in updates.iter().zip(&weights).zip(&taus) {
-            for j in 0..dim {
-                normalized[j] += p * u.delta[j] as f64 / tau;
+            for (n, &dj) in normalized.iter_mut().zip(&u.delta) {
+                *n += p * dj as f64 / tau;
             }
         }
         // Aggregated gradient-scale update: τ_eff Σ p_i Δ_i/τ_i, then
@@ -119,10 +119,7 @@ mod tests {
     fn uniform_steps_reduce_to_fedavg() {
         let hyper = HyperParams::new(2, 10, 0.1, 4);
         let global = vec![1.0, -1.0];
-        let updates = vec![
-            upd(0, vec![0.2, 0.0], 5, 10),
-            upd(1, vec![0.0, 0.4], 5, 10),
-        ];
+        let updates = vec![upd(0, vec![0.2, 0.0], 5, 10), upd(1, vec![0.0, 0.4], 5, 10)];
         let mut nova = FedNova::new(AggWeighting::Uniform);
         let got = nova.aggregate(&global, &updates, &hyper);
         let want = fedavg_step(&global, &updates, &hyper, AggWeighting::Uniform);

@@ -108,7 +108,10 @@ mod tests {
         ];
         let _ = alg.aggregate(&[0.0, 0.0], &updates, &hyper);
         let w = alg.last_weights();
-        assert!(w[0] > w[2] && w[1] > w[2], "outlier not downweighted: {w:?}");
+        assert!(
+            w[0] > w[2] && w[1] > w[2],
+            "outlier not downweighted: {w:?}"
+        );
         assert!(w[2] <= 1e-3 + f32::EPSILON);
     }
 

@@ -7,7 +7,7 @@
 /// The paper's default is `η_g = K · η_l`, which
 /// [`HyperParams::new`] applies automatically; use
 /// [`HyperParams::with_eta_g`] to override.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HyperParams {
     /// Number of clients `N` (full participation).
     pub num_clients: usize,

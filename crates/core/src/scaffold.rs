@@ -96,6 +96,7 @@ impl FederatedAlgorithm for Scaffold {
         updates: &[ClientUpdate],
         hyper: &HyperParams,
     ) -> Vec<f32> {
+        let _span = taco_trace::quiet_span!("core.aggregate.scaffold");
         self.ensure_dim(global.len());
         // Control-variate updates (paper's formulas, Section III-A).
         let mut mean_shift = vec![0.0f32; global.len()];

@@ -74,6 +74,10 @@ impl FederatedAlgorithm for Stem {
         }
     }
 
+    fn uploads_momentum(&self) -> bool {
+        true
+    }
+
     fn aggregate(
         &mut self,
         global: &[f32],
@@ -81,6 +85,7 @@ impl FederatedAlgorithm for Stem {
         hyper: &HyperParams,
     ) -> Vec<f32> {
         assert!(!updates.is_empty(), "aggregate with no updates");
+        let _span = taco_trace::quiet_span!("core.aggregate.stem");
         let dim = global.len();
         let mut acc = vec![0.0f64; dim];
         for u in updates {
@@ -149,10 +154,7 @@ mod tests {
         let hyper = HyperParams::new(2, 1, 1.0, 1);
         let next = alg.aggregate(
             &[0.0],
-            &[
-                upd(0, vec![1.0], vec![0.5]),
-                upd(1, vec![1.0], vec![-0.5]),
-            ],
+            &[upd(0, vec![1.0], vec![0.5]), upd(1, vec![1.0], vec![-0.5])],
             &hyper,
         );
         // mean(Δ_i + v_i) = mean(1.5, 0.5) = 1.0.

@@ -24,7 +24,7 @@ use crate::update::{ClientUpdate, LocalRule};
 use taco_tensor::ops;
 
 /// Configuration of [`Taco`] (Algorithm 2's inputs).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TacoConfig {
     /// Maximum correction strength `γ ∈ (0, 1]` of Eq. 8. The paper's
     /// default is `γ = 1/K`.
@@ -221,10 +221,10 @@ impl FederatedAlgorithm for Taco {
         hyper: &HyperParams,
     ) -> Vec<f32> {
         assert!(!updates.is_empty(), "aggregate with no updates");
+        let _span = taco_trace::quiet_span!("core.aggregate.taco");
         // Eq. 7: next-round coefficients from this round's uploads.
         let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
-        let new_alphas =
-            alpha::correction_coefficients_variant(&deltas, self.config.alpha_variant);
+        let new_alphas = alpha::correction_coefficients_variant(&deltas, self.config.alpha_variant);
         for (u, &a) in updates.iter().zip(&new_alphas) {
             self.alphas[u.client] = a;
         }
@@ -258,7 +258,8 @@ impl FederatedAlgorithm for Taco {
         let mut agg = ops::weighted_mean(&deltas, &weights);
         ops::scale(&mut agg, 1.0 / hyper.k_eta_l());
         self.global_delta = agg.clone();
-        self.avg_alpha_history.push(alpha::average_alpha(&new_alphas));
+        self.avg_alpha_history
+            .push(alpha::average_alpha(&new_alphas));
         self.prev_global = global.to_vec();
         let mut next = global.to_vec();
         ops::axpy(&mut next, -hyper.eta_g, &agg);
@@ -448,7 +449,12 @@ mod tests {
         // w moved 1.0 → 0.5; z = w + (1−α_t)(w − w_prev) continues the
         // motion (α_t < 1 here).
         let z = alg.output_params(&next);
-        assert!(z[0] < next[0], "z should extrapolate: {} vs {}", z[0], next[0]);
+        assert!(
+            z[0] < next[0],
+            "z should extrapolate: {} vs {}",
+            z[0],
+            next[0]
+        );
         // The explicit accessor agrees, and the default (non-
         // extrapolating) config reports w unchanged.
         assert_eq!(alg.extrapolated(&next), z);

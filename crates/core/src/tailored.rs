@@ -188,7 +188,10 @@ mod tests {
             LocalRule::Prox { lambda, .. } => lambda,
             _ => unreachable!(),
         };
-        assert!(l1 > l0, "skewed client should get stronger prox: {l0} vs {l1}");
+        assert!(
+            l1 > l0,
+            "skewed client should get stronger prox: {l0} vs {l1}"
+        );
         assert!(l0 <= 0.1 && l1 <= 0.1, "strengths bounded by base zeta");
     }
 

@@ -250,7 +250,15 @@ mod tests {
     fn delta_is_w0_minus_wk() {
         let (mut model, data, mut rng) = fixture();
         let w0 = model.params();
-        let out = run_local_steps(&mut model, &data, &LocalRule::PlainSgd, 5, 0.05, 4, &mut rng);
+        let out = run_local_steps(
+            &mut model,
+            &data,
+            &LocalRule::PlainSgd,
+            5,
+            0.05,
+            4,
+            &mut rng,
+        );
         let wk = model.params();
         for i in 0..w0.len() {
             assert!((out.delta[i] - (w0[i] - wk[i])).abs() < 1e-6);
@@ -278,7 +286,15 @@ mod tests {
         );
         let free_drift = {
             let (mut m2, data, mut rng) = fixture();
-            let o = run_local_steps(&mut m2, &data, &LocalRule::PlainSgd, 10, 0.0005, 4, &mut rng);
+            let o = run_local_steps(
+                &mut m2,
+                &data,
+                &LocalRule::PlainSgd,
+                10,
+                0.0005,
+                4,
+                &mut rng,
+            );
             ops::norm(&o.delta)
         };
         assert!(
@@ -350,7 +366,15 @@ mod tests {
         let (mut model, data, mut rng) = fixture();
         let eval = data.eval_batches(16);
         let (l0, _) = taco_nn::evaluate(&mut model, &eval);
-        let _ = run_local_steps(&mut model, &data, &LocalRule::PlainSgd, 60, 0.1, 8, &mut rng);
+        let _ = run_local_steps(
+            &mut model,
+            &data,
+            &LocalRule::PlainSgd,
+            60,
+            0.1,
+            8,
+            &mut rng,
+        );
         let (l1, _) = taco_nn::evaluate(&mut model, &eval);
         assert!(l1 < l0, "local SGD failed to learn: {l0} -> {l1}");
     }

@@ -8,7 +8,7 @@ use taco_tensor::{Prng, Tensor};
 /// Samples all share one `sample_dims` shape (e.g. `[1, 28, 28]` for
 /// grayscale images, `[14]` for tabular rows, `[seq_len]` for symbol
 /// sequences).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     features: Vec<f32>,
     labels: Vec<usize>,

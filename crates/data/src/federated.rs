@@ -5,7 +5,7 @@ use crate::dataset::Dataset;
 /// A federation's data: one training shard per client and a shared,
 /// centralized test set (the paper evaluates global-model accuracy on
 /// the dataset's standard test split).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FederatedDataset {
     clients: Vec<Dataset>,
     test: Dataset,

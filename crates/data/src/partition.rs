@@ -18,7 +18,7 @@
 use taco_tensor::Prng;
 
 /// Describes the paper's synthetic label-diversity groups (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiversityGroup {
     /// 10% of labels per client.
     A,

@@ -10,7 +10,7 @@ use crate::dataset::{Dataset, TrainTest};
 use taco_tensor::Prng;
 
 /// Parameters of the synthetic tabular dataset.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TabularSpec {
     /// Dataset name used in reports.
     pub name: String,
@@ -94,8 +94,8 @@ pub fn generate(spec: &TabularSpec, rng: &mut Prng) -> TrainTest {
             let class = i % spec.classes;
             let m = &means[class];
             let mut row = Vec::with_capacity(spec.features);
-            for j in 0..spec.informative {
-                row.push(m[j] + rng.normal_f32());
+            for &mj in m.iter().take(spec.informative) {
+                row.push(mj + rng.normal_f32());
             }
             for _ in spec.informative..spec.features {
                 row.push(rng.normal_f32());

@@ -14,7 +14,7 @@ use crate::federated::FederatedDataset;
 use taco_tensor::Prng;
 
 /// Parameters of the synthetic text corpus.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TextSpec {
     /// Dataset name used in reports.
     pub name: String,
@@ -123,7 +123,13 @@ pub fn generate(spec: &TextSpec, rng: &mut Prng) -> FederatedDataset {
         ));
     }
     let mut test_rng = rng.split(0x2000);
-    let test = emit(&global, spec.vocab, spec.seq_len, spec.test_n, &mut test_rng);
+    let test = emit(
+        &global,
+        spec.vocab,
+        spec.seq_len,
+        spec.test_n,
+        &mut test_rng,
+    );
     FederatedDataset::new(shards, test)
 }
 

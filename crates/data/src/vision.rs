@@ -12,7 +12,7 @@ use crate::dataset::{Dataset, TrainTest};
 use taco_tensor::Prng;
 
 /// Parameters of a synthetic vision dataset.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VisionSpec {
     /// Dataset name used in reports.
     pub name: String,

@@ -59,7 +59,11 @@ impl Relu {
     ///
     /// Panics if the length differs from the last forward call.
     pub fn backward_flat(&self, grad: &mut [f32]) {
-        assert_eq!(grad.len(), self.mask.len(), "Relu::backward_flat length mismatch");
+        assert_eq!(
+            grad.len(),
+            self.mask.len(),
+            "Relu::backward_flat length mismatch"
+        );
         for (g, &m) in grad.iter_mut().zip(&self.mask) {
             if !m {
                 *g = 0.0;

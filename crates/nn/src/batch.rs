@@ -8,7 +8,7 @@ use taco_tensor::Tensor;
 /// models the remaining dimensions are `[channels, height, width]`;
 /// for the LSTM the inputs are `[batch, seq_len]` symbol ids stored as
 /// `f32` (exact for ids below 2²⁴).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Batch {
     inputs: Tensor,
     targets: Vec<usize>,

@@ -49,13 +49,18 @@ impl Dense {
     /// Panics if `x` is not `[batch, in_features]`.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         assert_eq!(x.dims().len(), 2, "dense input must be 2-D");
-        assert_eq!(x.dims()[1], self.in_features(), "dense input width mismatch");
+        assert_eq!(
+            x.dims()[1],
+            self.in_features(),
+            "dense input width mismatch"
+        );
         let mut y = linalg::matmul_nt(x, &self.weight.value);
         let (b, out) = (x.dims()[0], self.out_features());
         let bias = self.bias.value.data();
         for i in 0..b {
-            for j in 0..out {
-                y.data_mut()[i * out + j] += bias[j];
+            let row = &mut y.data_mut()[i * out..(i + 1) * out];
+            for (v, &bj) in row.iter_mut().zip(bias) {
+                *v += bj;
             }
         }
         self.cached_input = Some(x.clone());

@@ -19,9 +19,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor
     assert_eq!(b, targets.len(), "target count mismatch");
     let mut grad = Tensor::zeros(logits.shape().clone());
     let mut loss = 0.0f64;
-    for i in 0..b {
+    for (i, &t) in targets.iter().enumerate() {
         let row = logits.row(i);
-        let t = targets[i];
         assert!(t < c, "target {t} out of range for {c} classes");
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut denom = 0.0f64;
@@ -42,7 +41,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor
 /// Softmax probabilities per row (used for inspection and tests).
 pub fn softmax(logits: &Tensor) -> Tensor {
     assert_eq!(logits.shape().ndim(), 2, "logits must be 2-D");
-    let (b, c) = (logits.dims()[0], logits.dims()[1]);
+    let b = logits.dims()[0];
     let mut out = Tensor::zeros(logits.shape().clone());
     for i in 0..b {
         let row = logits.row(i);
@@ -51,8 +50,8 @@ pub fn softmax(logits: &Tensor) -> Tensor {
         for &x in row {
             denom += ((x - max) as f64).exp();
         }
-        for j in 0..c {
-            out.row_mut(i)[j] = (((row[j] - max) as f64).exp() / denom) as f32;
+        for (o, &x) in out.row_mut(i).iter_mut().zip(row) {
+            *o = (((x - max) as f64).exp() / denom) as f32;
         }
     }
     out
@@ -62,7 +61,7 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 pub fn count_correct(logits: &Tensor, targets: &[usize]) -> usize {
     let (b, c) = (logits.dims()[0], logits.dims()[1]);
     let mut correct = 0;
-    for i in 0..b {
+    for (i, &t) in targets.iter().enumerate().take(b) {
         let row = &logits.data()[i * c..(i + 1) * c];
         let mut best = 0;
         for (j, &x) in row.iter().enumerate() {
@@ -70,7 +69,7 @@ pub fn count_correct(logits: &Tensor, targets: &[usize]) -> usize {
                 best = j;
             }
         }
-        if best == targets[i] {
+        if best == t {
             correct += 1;
         }
     }

@@ -102,7 +102,11 @@ impl CharLstm {
         let e = self.embed_dim;
         let mut out = Tensor::zeros([ids.len(), e]);
         for (i, &id) in ids.iter().enumerate() {
-            assert!(id < self.vocab, "symbol id {id} out of vocab {}", self.vocab);
+            assert!(
+                id < self.vocab,
+                "symbol id {id} out of vocab {}",
+                self.vocab
+            );
             out.row_mut(i)
                 .copy_from_slice(&self.embed.value.data()[id * e..(id + 1) * e]);
         }
@@ -286,9 +290,13 @@ impl Model for CharLstm {
 
     fn loss_and_grad(&mut self, batch: &Batch) -> (f32, Vec<f32>) {
         params::zero_grads(self);
+        let fwd = taco_trace::quiet_span!("nn.forward");
         let (logits, caches) = self.forward(batch);
+        fwd.finish();
         let (loss, grad_logits) = softmax_cross_entropy(&logits, batch.targets());
+        let bwd = taco_trace::quiet_span!("nn.backward");
         self.backward(&grad_logits, &caches);
+        bwd.finish();
         (loss, params::flatten_grads(self))
     }
 

@@ -104,9 +104,13 @@ impl Model for Mlp {
 
     fn loss_and_grad(&mut self, batch: &Batch) -> (f32, Vec<f32>) {
         params::zero_grads(self);
+        let fwd = taco_trace::quiet_span!("nn.forward");
         let logits = self.forward(batch.inputs());
+        fwd.finish();
         let (loss, grad_logits) = softmax_cross_entropy(&logits, batch.targets());
+        let bwd = taco_trace::quiet_span!("nn.backward");
         self.backward(&grad_logits);
+        bwd.finish();
         (loss, params::flatten_grads(self))
     }
 

@@ -72,8 +72,7 @@ impl GroupNorm {
         for g in 0..self.groups {
             let span = &x[g * group_len..(g + 1) * group_len];
             let mean = span.iter().sum::<f32>() / group_len as f32;
-            let var = span.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / group_len as f32;
+            let var = span.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / group_len as f32;
             let istd = 1.0 / (var + EPS).sqrt();
             inv_std[g] = istd;
             for (i, &v) in span.iter().enumerate() {
@@ -88,7 +87,10 @@ impl GroupNorm {
                 x[i] = gamma[c] * normalized[i] + beta[c];
             }
         }
-        self.cache.push(SampleCache { normalized, inv_std });
+        self.cache.push(SampleCache {
+            normalized,
+            inv_std,
+        });
     }
 
     /// Backward pass for sample `idx` (in forward order): transforms
@@ -136,12 +138,7 @@ impl GroupNorm {
             let gn = &gnorm[lo..hi];
             let xn = &cache.normalized[lo..hi];
             let mean_g = gn.iter().sum::<f32>() / group_len as f32;
-            let mean_gx = gn
-                .iter()
-                .zip(xn)
-                .map(|(a, b)| a * b)
-                .sum::<f32>()
-                / group_len as f32;
+            let mean_gx = gn.iter().zip(xn).map(|(a, b)| a * b).sum::<f32>() / group_len as f32;
             let istd = cache.inv_std[g];
             for i in 0..group_len {
                 grad[lo + i] = istd * (gn[i] - mean_g - xn[i] * mean_gx);
@@ -195,8 +192,14 @@ mod tests {
         };
         let mut gn = GroupNorm::new(channels, 2);
         // Non-trivial affine parameters.
-        gn.gamma.value.data_mut().copy_from_slice(&[1.5, 0.5, 2.0, 1.0]);
-        gn.beta.value.data_mut().copy_from_slice(&[0.1, -0.2, 0.0, 0.3]);
+        gn.gamma
+            .value
+            .data_mut()
+            .copy_from_slice(&[1.5, 0.5, 2.0, 1.0]);
+        gn.beta
+            .value
+            .data_mut()
+            .copy_from_slice(&[0.1, -0.2, 0.0, 0.3]);
         let _ = loss(&mut gn, &x0);
         let mut grad = gout.clone();
         gn.backward_sample(0, &mut grad);
@@ -231,6 +234,7 @@ mod tests {
         gn.backward_sample(0, &mut grad);
         let ggamma = gn.gamma.grad.data().to_vec();
         let eps = 1e-3f32;
+        #[allow(clippy::needless_range_loop)] // c indexes three parallel structures
         for c in 0..channels {
             let mut up_gn = gn.clone();
             up_gn.gamma.value.data_mut()[c] += eps;
@@ -243,7 +247,11 @@ mod tests {
             let mut yd = x0.clone();
             dn_gn.forward_sample(&mut yd);
             let fd = (yu.iter().sum::<f32>() - yd.iter().sum::<f32>()) / (2.0 * eps);
-            assert!((fd - ggamma[c]).abs() < 1e-2, "gamma {c}: {fd} vs {}", ggamma[c]);
+            assert!(
+                (fd - ggamma[c]).abs() < 1e-2,
+                "gamma {c}: {fd} vs {}",
+                ggamma[c]
+            );
         }
     }
 

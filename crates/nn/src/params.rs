@@ -12,7 +12,7 @@ use taco_tensor::Tensor;
 ///
 /// The gradient has the same shape as the value and is accumulated by
 /// the layer's backward pass until [`ParamBlock::zero_grad`] is called.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamBlock {
     /// Current parameter values.
     pub value: Tensor,
@@ -89,7 +89,9 @@ pub fn unflatten_params(target: &mut dyn HasParams, flat: &[f32]) {
             "flat parameter vector too short: need more than {} values",
             flat.len()
         );
-        b.value.data_mut().copy_from_slice(&flat[offset..offset + n]);
+        b.value
+            .data_mut()
+            .copy_from_slice(&flat[offset..offset + n]);
         offset += n;
     });
     assert_eq!(

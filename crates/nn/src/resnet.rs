@@ -117,9 +117,7 @@ impl ResBlock {
                 *v = 0.0;
             }
         }
-        let mut b = self
-            .conv2
-            .forward_sample(&a, self.out_side, self.out_side);
+        let mut b = self.conv2.forward_sample(&a, self.out_side, self.out_side);
         self.gn2.forward_sample(&mut b);
         let shortcut = match &mut self.skip {
             Some(s) => s.forward_sample(x, side, side),
@@ -166,13 +164,8 @@ impl ResBlock {
             Some(s) => s.backward_sample(idx, &g, self.in_side, self.in_side),
             None => g,
         };
-        gx_branch
-            .iter()
-            .zip(&gx_skip)
-            .map(|(a, b)| a + b)
-            .collect()
+        gx_branch.iter().zip(&gx_skip).map(|(a, b)| a + b).collect()
     }
-
 }
 
 impl HasParams for ResBlock {
@@ -307,7 +300,6 @@ impl TinyResNet {
             let _ = self.stem.backward_sample(i, &g, self.side, self.side);
         }
     }
-
 }
 
 impl HasParams for TinyResNet {
@@ -336,9 +328,13 @@ impl Model for TinyResNet {
 
     fn loss_and_grad(&mut self, batch: &Batch) -> (f32, Vec<f32>) {
         params::zero_grads(self);
+        let fwd = taco_trace::quiet_span!("nn.forward");
         let logits = self.forward_logits(batch);
+        fwd.finish();
         let (loss, grad_logits) = softmax_cross_entropy(&logits, batch.targets());
+        let bwd = taco_trace::quiet_span!("nn.backward");
         self.backward(&grad_logits);
+        bwd.finish();
         (loss, params::flatten_grads(self))
     }
 

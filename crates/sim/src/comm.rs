@@ -9,7 +9,7 @@
 //! the spectrum between the paper's two extremes.
 
 /// Link parameters for one client↔server connection.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommModel {
     /// Client→server bandwidth in bytes per second.
     pub uplink_bytes_per_sec: f64,

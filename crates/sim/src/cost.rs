@@ -12,7 +12,7 @@
 use taco_core::CostProfile;
 
 /// Calibration constants for one (model, batch-size) workload.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Seconds per gradient evaluation (forward + backward on one
     /// mini-batch).

@@ -3,7 +3,7 @@
 use crate::freeloader::ClientBehavior;
 
 /// True-positive and false-positive rates of a detection run.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionScore {
     /// `identified freeloaders / total freeloaders`; `1.0` when there
     /// are no freeloaders (nothing to miss).

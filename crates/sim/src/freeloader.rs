@@ -1,7 +1,7 @@
 //! Client behaviours.
 
 /// What a client actually does when asked to train.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ClientBehavior {
     /// Runs the algorithm's local-update rule honestly.
     #[default]

@@ -4,7 +4,7 @@
 //! any [`taco_core::FederatedAlgorithm`]:
 //!
 //! - [`runner`] — the [`runner::Simulation`] round loop with optional
-//!   parallel client execution (crossbeam scoped threads) and
+//!   parallel client execution (std scoped threads) and
 //!   deterministic per-client RNG streams, so results are independent
 //!   of thread scheduling.
 //! - [`freeloader`] — client behaviours: honest clients train; lazy

@@ -1,7 +1,7 @@
 //! Per-round records and the paper's efficiency metrics.
 
 /// Everything recorded about one communication round.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// Round index `t` (0-based).
     pub round: usize,
@@ -29,7 +29,7 @@ pub struct RoundRecord {
 }
 
 /// The full trajectory of a simulation run.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct History {
     /// Algorithm display name.
     pub algorithm: String,
@@ -215,5 +215,40 @@ mod tests {
         assert_eq!(h.final_accuracy(), 0.0);
         assert_eq!(h.rounds_to_accuracy(0.5), None);
         assert_eq!(h.instability(), 0.0);
+        assert_eq!(h.time_to_accuracy(0.5), None);
+        assert_eq!(h.total_time(), 0.0);
+        assert_eq!(h.total_upload_bytes(), 0);
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert!(h.accuracy_vs_time().is_empty());
+    }
+
+    #[test]
+    fn target_reached_in_round_zero() {
+        let h = history(&[0.9, 0.95, 0.99]);
+        assert_eq!(h.rounds_to_accuracy(0.5), Some(1));
+        // Fig. 4 charges the first round's straggler time even for an
+        // immediate hit.
+        assert_eq!(h.time_to_accuracy(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn target_never_reached() {
+        let h = history(&[0.1, 0.2, 0.3]);
+        assert_eq!(h.rounds_to_accuracy(0.31), None);
+        assert_eq!(h.time_to_accuracy(0.31), None);
+        // Boundary: >= means an exact hit counts.
+        assert_eq!(h.rounds_to_accuracy(0.3), Some(3));
+        assert_eq!(h.time_to_accuracy(0.3), Some(3.0));
+    }
+
+    #[test]
+    fn non_monotone_curve_uses_first_crossing() {
+        // Accuracy crosses the target, dips back under it, and crosses
+        // again — both metrics must report the *first* crossing.
+        let h = history(&[0.1, 0.6, 0.4, 0.7]);
+        assert_eq!(h.rounds_to_accuracy(0.5), Some(2));
+        assert_eq!(h.time_to_accuracy(0.5), Some(2.0));
+        assert_eq!(h.best_accuracy(), 0.7);
+        assert_eq!(h.final_accuracy(), 0.7);
     }
 }

@@ -8,6 +8,7 @@ use taco_core::{update, ClientUpdate, FederatedAlgorithm, HyperParams, LocalRule
 use taco_data::FederatedDataset;
 use taco_nn::{Batch, Model};
 use taco_tensor::{ops, Prng};
+use taco_trace as trace;
 
 /// Which clients take part in each round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -230,15 +231,19 @@ impl Simulation {
             expelled_clients: Vec::new(),
         };
         let hyper = self.config.hyper;
-        let needs_momentum_upload = matches!(
-            self.algorithm
-                .local_rule(0, &global),
-            LocalRule::StemMomentum { .. }
-        );
+        let needs_momentum_upload = self.algorithm.uploads_momentum();
         for round in 0..self.config.rounds {
+            let round_span = trace::quiet_span!("sim.round");
+            let draw_span = trace::quiet_span!("sim.phase.participation");
             self.algorithm.begin_round(round, &global);
             let expelled: Vec<usize> = self.algorithm.expelled();
             let n = self.fed.num_clients();
+            let mut expelled_mask = vec![false; n];
+            for &c in &expelled {
+                if c < n {
+                    expelled_mask[c] = true;
+                }
+            }
             // Participation draw (deterministic per round).
             let participating: Vec<bool> = match self.config.participation {
                 Participation::Full => vec![true; n],
@@ -256,8 +261,10 @@ impl Simulation {
             // Build this round's jobs for honest, active clients.
             let mut jobs = Vec::new();
             let mut freeloader_updates = Vec::new();
+            let mut skipped = 0u64;
             for client in 0..n {
-                if expelled.contains(&client) || !participating[client] {
+                if expelled_mask[client] || !participating[client] {
+                    skipped += 1;
                     continue;
                 }
                 match self.config.behaviors[client] {
@@ -290,14 +297,19 @@ impl Simulation {
                     }
                 }
             }
+            trace::counter("sim.clients_skipped").add(skipped);
+            let participation_secs = draw_span.finish();
             if jobs.is_empty() && freeloader_updates.is_empty() {
                 // Everyone expelled: freeze training here.
                 break;
             }
+            let local_span = trace::quiet_span!("sim.phase.local");
             let mut updates = self.execute_jobs(&global, jobs, round);
             updates.append(&mut freeloader_updates);
             updates.sort_by_key(|u| u.client);
+            let local_secs = local_span.finish();
             // Lossy upload compression + byte accounting.
+            let compress_span = trace::quiet_span!("sim.phase.compress");
             let upload_bytes: usize = match &self.config.upload_compressor {
                 Some(c) => {
                     let mut bytes = 0;
@@ -309,8 +321,12 @@ impl Simulation {
                 }
                 None => updates.iter().map(|u| u.delta.len() * 4).sum(),
             };
+            let compress_secs = compress_span.finish();
+            trace::counter("sim.upload_bytes").add(upload_bytes as u64);
             // Aggregate and advance.
+            let aggregate_span = trace::quiet_span!("sim.phase.aggregate");
             let next = self.algorithm.aggregate(&global, &updates, &hyper);
+            let aggregate_secs = aggregate_span.finish();
             prev_global = global;
             global = next;
             // Metrics.
@@ -330,6 +346,7 @@ impl Simulation {
             let total_secs: f64 = updates.iter().map(|u| u.compute_seconds).sum();
             let evaluate_now =
                 round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
+            let eval_span = trace::quiet_span!("sim.phase.eval");
             let (test_loss, test_acc) = if evaluate_now {
                 let out = self.algorithm.output_params(&global);
                 prototype.set_params(&out);
@@ -342,6 +359,42 @@ impl Simulation {
                     .map(|r| (r.test_loss, r.test_accuracy))
                     .unwrap_or((0.0, 0.0))
             };
+            let eval_secs = eval_span.finish();
+            let alphas = self.algorithm.alphas().map(<[f32]>::to_vec);
+            let expelled_now = self.algorithm.expelled().len();
+            trace::counter("sim.rounds").incr();
+            let round_secs = round_span.finish();
+            if trace::active() {
+                let mut event = trace::Event::new("round")
+                    .with("round", round)
+                    .with("algorithm", history.algorithm.as_str())
+                    .with("clients_active", updates.len())
+                    .with("clients_skipped", skipped)
+                    .with("expelled", expelled_now)
+                    .with("upload_bytes", upload_bytes)
+                    .with("train_loss", train_loss)
+                    .with("evaluated", evaluate_now)
+                    .with("test_accuracy", test_acc)
+                    .with("test_loss", test_loss)
+                    .with("secs", round_secs)
+                    .with("participation_secs", participation_secs)
+                    .with("local_secs", local_secs)
+                    .with("compress_secs", compress_secs)
+                    .with("aggregate_secs", aggregate_secs)
+                    .with("eval_secs", eval_secs)
+                    .with("max_client_secs", max_secs)
+                    .with("total_client_secs", total_secs);
+                if let Some(a) = &alphas {
+                    let mean = a.iter().map(|&x| x as f64).sum::<f64>() / a.len().max(1) as f64;
+                    let min = a.iter().copied().fold(f32::INFINITY, f32::min);
+                    let max = a.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    event = event
+                        .with("alpha_mean", mean)
+                        .with("alpha_min", min)
+                        .with("alpha_max", max);
+                }
+                trace::emit(&event);
+            }
             history.rounds.push(RoundRecord {
                 round,
                 test_accuracy: test_acc,
@@ -349,11 +402,12 @@ impl Simulation {
                 train_loss,
                 max_client_seconds: max_secs,
                 total_client_seconds: total_secs,
-                alphas: self.algorithm.alphas().map(<[f32]>::to_vec),
-                expelled: self.algorithm.expelled().len(),
+                alphas,
+                expelled: expelled_now,
                 upload_bytes,
             });
         }
+        trace::flush();
         history.expelled_clients = self.algorithm.expelled();
         history
     }
@@ -370,6 +424,12 @@ impl Simulation {
         let prototype = &self.prototype;
         let fed = &self.fed;
         let run_one = move |job: &ClientJob| -> ClientUpdate {
+            let span = trace::span!(
+                "client_step",
+                round = round,
+                client = job.client,
+                steps = job.steps
+            );
             let mut model = prototype.clone_model();
             model.set_params(global);
             let mut rng = client_rng(seed, round, job.client);
@@ -386,6 +446,7 @@ impl Simulation {
             let elapsed = start.elapsed().as_secs_f64();
             let mut u = ClientUpdate::from_outcome(job.client, job.num_samples, outcome);
             u.compute_seconds = elapsed;
+            drop(span);
             u
         };
         if !self.config.parallel || jobs.len() <= 1 {
@@ -398,16 +459,15 @@ impl Simulation {
         let chunk = jobs.len().div_ceil(threads);
         let mut results: Vec<Option<ClientUpdate>> = Vec::new();
         results.resize_with(jobs.len(), || None);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slice_jobs, slice_out) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, out) in slice_jobs.iter().zip(slice_out.iter_mut()) {
                         *out = Some(run_one(j));
                     }
                 });
             }
-        })
-        .expect("client thread panicked");
+        });
         results
             .into_iter()
             .map(|r| r.expect("client job not executed"))
@@ -449,28 +509,75 @@ mod tests {
         );
     }
 
+    /// Zeroes the measured wall-clock fields so two runs can be
+    /// compared for bit-identical *learning* trajectories.
+    fn zero_timing(mut h: History) -> History {
+        for r in &mut h.rounds {
+            r.max_client_seconds = 0.0;
+            r.total_client_seconds = 0.0;
+        }
+        h
+    }
+
     #[test]
     fn same_seed_same_history_parallel_or_not() {
         let hyper = HyperParams::new(4, 5, 0.05, 16);
-        let h1 = Simulation::new(
-            small_fed(4, 2),
-            mlp(2),
+        let run = |sequential: bool| {
+            let config = SimConfig::new(hyper, 4, 7);
+            let config = if sequential {
+                config.sequential()
+            } else {
+                config
+            };
+            Simulation::new(small_fed(4, 2), mlp(2), Box::new(FedAvg::default()), config).run()
+        };
+        let parallel_a = zero_timing(run(false));
+        let parallel_b = zero_timing(run(false));
+        let sequential = zero_timing(run(true));
+        // Bit-identical modulo measured timing: every accuracy, loss,
+        // alpha, byte count, and expulsion matches field-for-field.
+        assert_eq!(parallel_a, parallel_b);
+        assert_eq!(parallel_a, sequential);
+    }
+
+    #[test]
+    fn round_events_reach_the_sink_with_phase_breakdown() {
+        let _guard = trace::test_guard();
+        let sink = Arc::new(trace::MemorySink::new());
+        let prev = trace::set_sink(sink.clone());
+        let hyper = HyperParams::new(3, 2, 0.05, 8);
+        let history = Simulation::new(
+            small_fed(3, 14),
+            mlp(14),
             Box::new(FedAvg::default()),
-            SimConfig::new(hyper, 4, 7),
+            SimConfig::new(hyper, 3, 5),
         )
         .run();
-        let h2 = Simulation::new(
-            small_fed(4, 2),
-            mlp(2),
-            Box::new(FedAvg::default()),
-            SimConfig::new(hyper, 4, 7).sequential(),
-        )
-        .run();
-        assert_eq!(h1.accuracy_series(), h2.accuracy_series());
-        // Per-round deltas drive the model identically; timing differs.
-        for (a, b) in h1.rounds.iter().zip(&h2.rounds) {
-            assert_eq!(a.test_loss, b.test_loss);
+        trace::set_sink(prev);
+        trace::clear_sink();
+        let rounds = sink.events_of_kind("round");
+        assert_eq!(rounds.len(), history.rounds.len());
+        for (i, e) in rounds.iter().enumerate() {
+            assert_eq!(
+                e.field("round").and_then(trace::Value::as_f64),
+                Some(i as f64)
+            );
+            for key in [
+                "participation_secs",
+                "local_secs",
+                "compress_secs",
+                "aggregate_secs",
+                "eval_secs",
+                "secs",
+                "upload_bytes",
+                "clients_active",
+            ] {
+                assert!(e.field(key).is_some(), "round event missing {key}");
+            }
         }
+        // Per-client spans rode along too: 3 clients × 3 rounds.
+        let steps = sink.events_of_kind("span");
+        assert_eq!(steps.len(), 9);
     }
 
     #[test]
@@ -555,13 +662,8 @@ mod tests {
         let fed = small_fed(4, 9);
         let hyper = HyperParams::new(4, 8, 0.05, 16);
         let config = SimConfig::new(hyper, 8, 5).with_local_steps(vec![2, 4, 8, 16]);
-        let history = Simulation::new(
-            fed,
-            mlp(9),
-            Box::new(taco_core::FedNova::default()),
-            config,
-        )
-        .run();
+        let history =
+            Simulation::new(fed, mlp(9), Box::new(taco_core::FedNova::default()), config).run();
         assert!(
             history.best_accuracy() > 0.6,
             "FedNova under system heterogeneity stuck at {}",
@@ -576,8 +678,13 @@ mod tests {
         let plain = SimConfig::new(hyper, 8, 6);
         let compressed = SimConfig::new(hyper, 8, 6)
             .with_compressor(Arc::new(taco_core::compress::TopK::new(0.1)));
-        let h_plain =
-            Simulation::new(small_fed(4, 12), mlp(12), Box::new(FedAvg::default()), plain).run();
+        let h_plain = Simulation::new(
+            small_fed(4, 12),
+            mlp(12),
+            Box::new(FedAvg::default()),
+            plain,
+        )
+        .run();
         let h_comp = Simulation::new(fed, mlp(12), Box::new(FedAvg::default()), compressed).run();
         assert!(
             h_comp.total_upload_bytes() < h_plain.total_upload_bytes() / 2,
@@ -604,6 +711,11 @@ mod tests {
     fn client_count_mismatch_panics() {
         let fed = small_fed(3, 6);
         let hyper = HyperParams::new(4, 3, 0.05, 8);
-        let _ = Simulation::new(fed, mlp(6), Box::new(FedAvg::default()), SimConfig::new(hyper, 1, 1));
+        let _ = Simulation::new(
+            fed,
+            mlp(6),
+            Box::new(FedAvg::default()),
+            SimConfig::new(hyper, 1, 1),
+        );
     }
 }

@@ -13,7 +13,7 @@ use crate::linalg;
 use crate::Tensor;
 
 /// Geometry of a 2-D convolution or pooling window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conv2dSpec {
     /// Input channels.
     pub in_channels: usize,
@@ -34,8 +34,12 @@ impl Conv2dSpec {
     ///
     /// Panics if the window does not fit (output would be empty).
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.padding).checked_sub(self.kernel).map(|x| x / self.stride + 1);
-        let ow = (w + 2 * self.padding).checked_sub(self.kernel).map(|x| x / self.stride + 1);
+        let oh = (h + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .map(|x| x / self.stride + 1);
+        let ow = (w + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .map(|x| x / self.stride + 1);
         match (oh, ow) {
             (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
             _ => panic!(
@@ -173,12 +177,12 @@ pub fn conv2d_backward(
     // dW = gᵀ · cols  -> [out_ch, in_ch*k*k]
     let dw = linalg::matmul_tn(&g, cols);
     *grad_weight += &dw;
-    for oc in 0..spec.out_channels {
+    for (oc, gb) in grad_bias.iter_mut().enumerate().take(spec.out_channels) {
         let mut s = 0.0;
         for pos in 0..oh * ow {
             s += g.data()[pos * spec.out_channels + oc];
         }
-        grad_bias[oc] += s;
+        *gb += s;
     }
     // dcols = g · W -> [oh*ow, in_ch*k*k]
     let dcols = linalg::matmul(&g, weight);
@@ -197,7 +201,10 @@ pub fn maxpool2d_forward(
     window: usize,
     stride: usize,
 ) -> (Vec<f32>, Vec<usize>) {
-    assert!(window > 0 && stride > 0, "pool window/stride must be positive");
+    assert!(
+        window > 0 && stride > 0,
+        "pool window/stride must be positive"
+    );
     let oh = (h - window) / stride + 1;
     let ow = (w - window) / stride + 1;
     let mut out = vec![0.0f32; channels * oh * ow];
@@ -229,11 +236,7 @@ pub fn maxpool2d_forward(
 
 /// Backward max pooling: routes each output gradient to the input
 /// element that won the forward max.
-pub fn maxpool2d_backward(
-    grad_out: &[f32],
-    argmax: &[usize],
-    input_len: usize,
-) -> Vec<f32> {
+pub fn maxpool2d_backward(grad_out: &[f32], argmax: &[usize], input_len: usize) -> Vec<f32> {
     let mut grad_in = vec![0.0f32; input_len];
     for (g, &idx) in grad_out.iter().zip(argmax) {
         grad_in[idx] += g;
@@ -330,7 +333,10 @@ mod tests {
     #[test]
     fn conv_forward_matches_naive() {
         let mut rng = Prng::seed_from_u64(10);
-        for &(h, w, s) in &[(6usize, 6usize, spec(2, 3, 3, 1, 0)), (5, 7, spec(1, 2, 3, 2, 1))] {
+        for &(h, w, s) in &[
+            (6usize, 6usize, spec(2, 3, 3, 1, 0)),
+            (5, 7, spec(1, 2, 3, 2, 1)),
+        ] {
             let input = Tensor::randn(&[s.in_channels * h * w][..], 1.0, &mut rng);
             let weight = Tensor::randn(
                 &[s.out_channels, s.in_channels * s.kernel * s.kernel][..],
@@ -376,7 +382,11 @@ mod tests {
             let mut m = input.data().to_vec();
             m[i] -= eps;
             let fd = (loss(&p, &weight, &bias) - loss(&m, &weight, &bias)) / (2.0 * eps);
-            assert!((fd - gin[i]).abs() < 1e-2, "input grad {i}: fd {fd} vs {}", gin[i]);
+            assert!(
+                (fd - gin[i]).abs() < 1e-2,
+                "input grad {i}: fd {fd} vs {}",
+                gin[i]
+            );
         }
         // Check a few weight coordinates.
         for &i in &[0usize, 5, 17] {
@@ -385,7 +395,11 @@ mod tests {
             let mut m = weight.clone();
             m.data_mut()[i] -= eps;
             let fd = (loss(input.data(), &p, &bias) - loss(input.data(), &m, &bias)) / (2.0 * eps);
-            assert!((fd - gw.data()[i]).abs() < 1e-1, "weight grad {i}: fd {fd} vs {}", gw.data()[i]);
+            assert!(
+                (fd - gw.data()[i]).abs() < 1e-1,
+                "weight grad {i}: fd {fd} vs {}",
+                gw.data()[i]
+            );
         }
         // Bias gradient is just the count of output positions.
         let (oh, ow) = s.output_hw(h, w);

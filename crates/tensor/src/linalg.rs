@@ -99,7 +99,10 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = dims2(a, "matmul_nt lhs");
     let (n, kb) = dims2(b, "matmul_nt rhs");
-    assert_eq!(ka, kb, "matmul_nt trailing dimension mismatch: {ka} vs {kb}");
+    assert_eq!(
+        ka, kb,
+        "matmul_nt trailing dimension mismatch: {ka} vs {kb}"
+    );
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();

@@ -26,7 +26,7 @@
 /// let mut rng2 = Prng::seed_from_u64(42);
 /// assert_eq!(x, rng2.uniform_f32());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Prng {
     state: [u64; 4],
 }
@@ -70,10 +70,7 @@ impl Prng {
     /// Returns the next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -340,7 +337,11 @@ mod tests {
             let p = rng.dirichlet(0.05, 10);
             max_sum += p.iter().cloned().fold(0.0, f64::max);
         }
-        assert!(max_sum / trials as f64 > 0.7, "avg max {}", max_sum / trials as f64);
+        assert!(
+            max_sum / trials as f64 > 0.7,
+            "avg max {}",
+            max_sum / trials as f64
+        );
     }
 
     #[test]

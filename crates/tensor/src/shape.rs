@@ -17,7 +17,7 @@ use std::fmt;
 /// assert_eq!(s.ndim(), 3);
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {
@@ -85,7 +85,10 @@ impl Shape {
         let mut off = 0;
         let mut stride = 1;
         for (i, (&ix, &dim)) in index.iter().zip(&self.0).enumerate().rev() {
-            debug_assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            debug_assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (dim {dim})"
+            );
             off += ix * stride;
             stride *= dim;
         }

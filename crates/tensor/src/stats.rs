@@ -61,7 +61,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 }
 
 /// A `mean ± std` pair, formatted the way the paper's tables print it.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeanStd {
     /// Sample mean.
     pub mean: f64,

@@ -22,8 +22,7 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 /// let u = t.map(|x| x + 1.0);
 /// assert_eq!(u.sum(), 6.0);
 /// ```
-#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(Clone, PartialEq, Default)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
@@ -309,7 +308,6 @@ impl Tensor {
         crate::ops::axpy(&mut self.data, alpha, &other.data);
     }
 }
-
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

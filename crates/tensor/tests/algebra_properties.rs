@@ -1,85 +1,114 @@
-//! Property tests for the tensor substrate's algebraic identities.
+//! Randomized property tests for the tensor substrate's algebraic
+//! identities, driven by seeded [`Prng`] case generators (the offline
+//! crate set has no proptest).
 
-use proptest::prelude::*;
 use taco_tensor::{conv, linalg, ops, Prng, Tensor};
 
-fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols][..]))
+const CASES: u64 = 48;
+
+fn tensor(rows: usize, cols: usize, rng: &mut Prng) -> Tensor {
+    let v: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.uniform_f32() * 20.0 - 10.0)
+        .collect();
+    Tensor::from_vec(v, &[rows, cols][..])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn vector(n: usize, scale: f32, rng: &mut Prng) -> Vec<f32> {
+    (0..n)
+        .map(|_| rng.uniform_f32() * 2.0 * scale - scale)
+        .collect()
+}
 
-    /// (A·B)·C == A·(B·C) within f32 tolerance.
-    #[test]
-    fn matmul_is_associative(
-        a in tensor_strategy(3, 4),
-        b in tensor_strategy(4, 2),
-        c in tensor_strategy(2, 5),
-    ) {
+/// (A·B)·C == A·(B·C) within f32 tolerance.
+#[test]
+fn matmul_is_associative() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xA550C ^ case);
+        let a = tensor(3, 4, &mut rng);
+        let b = tensor(4, 2, &mut rng);
+        let c = tensor(2, 5, &mut rng);
         let left = linalg::matmul(&linalg::matmul(&a, &b), &c);
         let right = linalg::matmul(&a, &linalg::matmul(&b, &c));
         for (l, r) in left.data().iter().zip(right.data()) {
-            prop_assert!((l - r).abs() < 1e-2 * (1.0 + l.abs()), "{} vs {}", l, r);
+            assert!(
+                (l - r).abs() < 1e-2 * (1.0 + l.abs()),
+                "case {case}: {l} vs {r}"
+            );
         }
     }
+}
 
-    /// (A·B)^T == B^T · A^T.
-    #[test]
-    fn transpose_reverses_products(
-        a in tensor_strategy(3, 4),
-        b in tensor_strategy(4, 2),
-    ) {
+/// (A·B)^T == B^T · A^T.
+#[test]
+fn transpose_reverses_products() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x7085 ^ case);
+        let a = tensor(3, 4, &mut rng);
+        let b = tensor(4, 2, &mut rng);
         let lhs = linalg::matmul(&a, &b).transpose();
         let rhs = linalg::matmul(&b.transpose(), &a.transpose());
         for (l, r) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()));
+            assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()), "case {case}");
         }
     }
+}
 
-    /// matmul distributes over addition.
-    #[test]
-    fn matmul_distributes(
-        a in tensor_strategy(2, 3),
-        b in tensor_strategy(3, 2),
-        c in tensor_strategy(3, 2),
-    ) {
+/// matmul distributes over addition.
+#[test]
+fn matmul_distributes() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xD157 ^ case);
+        let a = tensor(2, 3, &mut rng);
+        let b = tensor(3, 2, &mut rng);
+        let c = tensor(3, 2, &mut rng);
         let lhs = linalg::matmul(&a, &(&b + &c));
         let rhs = &linalg::matmul(&a, &b) + &linalg::matmul(&a, &c);
         for (l, r) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()));
+            assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()), "case {case}");
         }
     }
+}
 
-    /// Cauchy–Schwarz: |<a, b>| <= |a|·|b|.
-    #[test]
-    fn cauchy_schwarz(
-        (a, b) in (1usize..16).prop_flat_map(|n| (
-            proptest::collection::vec(-10.0f32..10.0, n..=n),
-            proptest::collection::vec(-10.0f32..10.0, n..=n),
-        )),
-    ) {
+/// Cauchy–Schwarz: |<a, b>| <= |a|·|b|.
+#[test]
+fn cauchy_schwarz() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xCA0C ^ case);
+        let n = 1 + rng.below(15);
+        let a = vector(n, 10.0, &mut rng);
+        let b = vector(n, 10.0, &mut rng);
         let dot = ops::dot(&a, &b).abs();
         let bound = ops::norm(&a) * ops::norm(&b);
-        prop_assert!(dot <= bound * (1.0 + 1e-4) + 1e-5, "{} > {}", dot, bound);
+        assert!(
+            dot <= bound * (1.0 + 1e-4) + 1e-5,
+            "case {case}: {dot} > {bound}"
+        );
     }
+}
 
-    /// Triangle inequality on the flat-vector norm.
-    #[test]
-    fn triangle_inequality(
-        (a, b) in (1usize..16).prop_flat_map(|n| (
-            proptest::collection::vec(-10.0f32..10.0, n..=n),
-            proptest::collection::vec(-10.0f32..10.0, n..=n),
-        )),
-    ) {
+/// Triangle inequality on the flat-vector norm.
+#[test]
+fn triangle_inequality() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x781A ^ case);
+        let n = 1 + rng.below(15);
+        let a = vector(n, 10.0, &mut rng);
+        let b = vector(n, 10.0, &mut rng);
         let sum = ops::add(&a, &b);
-        prop_assert!(ops::norm(&sum) <= ops::norm(&a) + ops::norm(&b) + 1e-4);
+        assert!(
+            ops::norm(&sum) <= ops::norm(&a) + ops::norm(&b) + 1e-4,
+            "case {case}"
+        );
     }
+}
 
-    /// im2col/col2im adjointness: <im2col(x), y> == <x, col2im(y)>.
-    #[test]
-    fn im2col_adjoint(seed in 0u64..1000, pad in 0usize..2, stride in 1usize..3) {
+/// im2col/col2im adjointness: <im2col(x), y> == <x, col2im(y)>.
+#[test]
+fn im2col_adjoint() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x12C ^ case);
+        let pad = rng.below(2);
+        let stride = 1 + rng.below(2);
         let spec = conv::Conv2dSpec {
             in_channels: 2,
             out_channels: 1,
@@ -88,33 +117,42 @@ proptest! {
             padding: pad,
         };
         let (h, w) = (6, 6);
-        let mut rng = Prng::seed_from_u64(seed);
         let x = Tensor::randn(&[2 * h * w][..], 1.0, &mut rng);
         let cols = conv::im2col(x.data(), h, w, &spec);
         let y = Tensor::randn(cols.shape().clone(), 1.0, &mut rng);
         let lhs = ops::dot(cols.data(), y.data());
         let back = conv::col2im(&y, h, w, &spec);
         let rhs = ops::dot(x.data(), &back);
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "case {case}: {lhs} vs {rhs}"
+        );
     }
+}
 
-    /// Dirichlet draws are simplex points for any shape/seed.
-    #[test]
-    fn dirichlet_simplex(alpha in 0.05f64..10.0, k in 1usize..20, seed in 0u64..500) {
-        let mut rng = Prng::seed_from_u64(seed);
+/// Dirichlet draws are simplex points for any shape/seed.
+#[test]
+fn dirichlet_simplex() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xD1E ^ case);
+        let alpha = 0.05 + rng.uniform_f64() * 9.95;
+        let k = 1 + rng.below(19);
         let p = rng.dirichlet(alpha, k);
-        prop_assert_eq!(p.len(), k);
+        assert_eq!(p.len(), k);
         let sum: f64 = p.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
-        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+        assert!((sum - 1.0).abs() < 1e-6, "case {case}: sum {sum}");
+        assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
     }
+}
 
-    /// `below(n)` is always within range.
-    #[test]
-    fn below_in_range(bound in 1usize..10_000, seed in 0u64..100) {
-        let mut rng = Prng::seed_from_u64(seed);
+/// `below(n)` is always within range.
+#[test]
+fn below_in_range() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xB10 ^ case);
+        let bound = 1 + rng.below(9_999);
         for _ in 0..50 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound, "case {case}");
         }
     }
 }

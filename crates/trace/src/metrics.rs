@@ -1,0 +1,432 @@
+//! The global metrics registry: counters, gauges, and log-bucket
+//! histograms.
+//!
+//! All metric types are lock-free on the hot path (atomics only); the
+//! registry itself takes a short mutex on first lookup of a name.
+//! Handles are `Arc`s, so call sites that care can cache them.
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets (fixed, log₂-scale).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket `b ∈ 1..63` covers values in `[2^(b−41), 2^(b−40))`; bucket 0
+/// holds non-positive values and underflows, bucket 63 overflows. The
+/// range `2⁻⁴⁰ ≈ 9·10⁻¹³` to `2²² ≈ 4·10⁶` comfortably covers seconds
+/// and byte counts at both harness and paper scale.
+const BUCKET_EXP_OFFSET: i32 = 41;
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        return 0;
+    }
+    let e = v.log2().floor() as i32 + BUCKET_EXP_OFFSET;
+    e.clamp(1, HISTOGRAM_BUCKETS as i32 - 1) as usize
+}
+
+/// The inclusive lower bound of bucket `b` (0.0 for the underflow
+/// bucket).
+pub fn bucket_lower_bound(b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        (2.0f64).powi(b as i32 - BUCKET_EXP_OFFSET)
+    }
+}
+
+/// An `f64` histogram with fixed log-scale buckets plus exact count,
+/// sum, min, and max. `observe` is lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur));
+        if new.to_bits() == cur {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, |s| s + v);
+        atomic_f64_update(&self.min_bits, |m| m.min(v));
+        atomic_f64_update(&self.max_bits, |m| m.max(v));
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+            },
+            max: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+            },
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let n = c.load(Ordering::Relaxed);
+                    (n > 0).then(|| (bucket_lower_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An immutable histogram summary: exact count/sum/min/max plus the
+/// non-empty log-scale buckets as `(lower_bound, count)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0.0 when empty).
+    pub min: f64,
+    /// Largest observation (0.0 when empty).
+    pub max: f64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` from the bucket counts: the
+    /// lower bound of the bucket where the cumulative count crosses
+    /// `q·count`. Exact only to bucket resolution (a factor of 2).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(lower, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return lower;
+            }
+        }
+        self.max
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            ("sum".to_string(), Value::F64(self.sum)),
+            ("min".to_string(), Value::F64(self.min)),
+            ("max".to_string(), Value::F64(self.max)),
+            ("mean".to_string(), Value::F64(self.mean())),
+            ("p50".to_string(), Value::F64(self.quantile(0.5))),
+            ("p99".to_string(), Value::F64(self.quantile(0.99))),
+        ])
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Use the free functions in the crate root ([`crate::counter`],
+/// [`crate::gauge`], [`crate::histogram`]) for the process-global
+/// instance.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn lock<T>(map: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    map.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn intern<T: Default>(map: &Mutex<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    let mut guard = lock(map);
+    if let Some(existing) = guard.get(name) {
+        return Arc::clone(existing);
+    }
+    let fresh = Arc::new(T::default());
+    guard.insert(name.to_string(), Arc::clone(&fresh));
+    fresh
+}
+
+impl Registry {
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// An immutable, name-sorted copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Removes every metric. Intended for tests and for isolating one
+    /// benchmark run from the next; existing handles keep working but
+    /// are no longer reachable from the registry.
+    pub fn reset(&self) {
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
+        lock(&self.histograms).clear();
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], name-sorted.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// `true` when no metric of any kind was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as a JSON object with `counters`,
+    /// `gauges`, and `histograms` sub-objects.
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            (
+                "counters".to_string(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::default();
+        r.counter("a").add(2);
+        r.counter("a").incr();
+        assert_eq!(r.counter("a").get(), 3);
+        r.gauge("g").set(1.5);
+        assert_eq!(r.gauge("g").get(), 1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        // 1.0 = 2^0 → bucket 41; 2.0 → 42; 0.5 → 40.
+        assert_eq!(bucket_index(1.0), 41);
+        assert_eq!(bucket_index(2.0), 42);
+        assert_eq!(bucket_index(0.5), 40);
+        assert_eq!(bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1e-300), 1);
+        assert!((bucket_lower_bound(41) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_snapshot_stats() {
+        let h = Histogram::default();
+        for v in [0.5, 1.0, 1.5, 4.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean() - 1.75).abs() < 1e-12);
+        // p50 falls in the bucket containing 1.0/1.5 (lower bound 1.0).
+        assert_eq!(s.quantile(0.5), 1.0);
+        assert!(s.quantile(1.0) <= 4.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_serializes() {
+        let r = Registry::default();
+        r.counter("z.last").incr();
+        r.counter("a.first").incr();
+        r.histogram("h").observe(1.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "a.first");
+        assert_eq!(s.counters[1].0, "z.last");
+        let parsed = crate::json::parse(&s.to_value().to_json()).unwrap();
+        assert!(parsed.get("histograms").is_some());
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let h = std::sync::Arc::new(Histogram::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(1.0 + (i % 7) as f64);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        let bucket_total: u64 = snap.buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(bucket_total, 4000);
+    }
+}

@@ -1,0 +1,152 @@
+//! Lightweight spans: RAII timers that feed duration histograms and
+//! (optionally) the event stream.
+
+use crate::event::Event;
+use crate::value::Value;
+use std::time::Instant;
+
+/// A running span. Created by [`crate::span!`] / [`crate::quiet_span!`]
+/// or [`Span::new`] / [`Span::quiet`].
+///
+/// On [`Span::finish`] (or drop) the elapsed wall-clock time is
+/// recorded into the global histogram `<name>.seconds`. Non-quiet
+/// spans additionally emit a `span` event carrying their fields when a
+/// sink is active. Quiet spans are meant for hot paths (per-step
+/// forward/backward): metrics only, never an event.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(String, Value)>,
+    emit_event: bool,
+    done: bool,
+}
+
+impl Span {
+    /// Starts a span that emits a `span` event on completion (when a
+    /// sink is active) in addition to the duration histogram.
+    pub fn new(name: &'static str, fields: Vec<(String, Value)>) -> Self {
+        Span {
+            name,
+            start: Instant::now(),
+            fields,
+            emit_event: true,
+            done: false,
+        }
+    }
+
+    /// Starts a metrics-only span (duration histogram, no event).
+    pub fn quiet(name: &'static str) -> Self {
+        Span {
+            name,
+            start: Instant::now(),
+            fields: Vec::new(),
+            emit_event: false,
+            done: false,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Ends the span now and returns the elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        self.complete()
+    }
+
+    fn complete(&mut self) -> f64 {
+        self.done = true;
+        let secs = self.start.elapsed().as_secs_f64();
+        crate::histogram(&format!("{}.seconds", self.name)).observe(secs);
+        if self.emit_event && crate::active() {
+            let mut event = Event::new("span")
+                .with("name", self.name)
+                .with("secs", secs);
+            event.fields.append(&mut self.fields);
+            crate::emit(&event);
+        }
+        secs
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            self.complete();
+        }
+    }
+}
+
+/// Starts an event-emitting [`Span`]: `span!("sim.phase.aggregate")` or
+/// `span!("client_step", client = 3, steps = k)`. Field values may be
+/// any type convertible into [`crate::value::Value`].
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::span::Span::new(
+            $name,
+            ::std::vec![$((
+                ::std::stringify!($key).to_string(),
+                $crate::value::Value::from($val)
+            )),*],
+        )
+    };
+}
+
+/// Starts a metrics-only [`Span`] for hot paths: records the duration
+/// histogram but never emits an event.
+#[macro_export]
+macro_rules! quiet_span {
+    ($name:literal) => {
+        $crate::span::Span::quiet($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_records_duration_histogram() {
+        let span = Span::quiet("test.span.quiet");
+        let secs = span.finish();
+        assert!(secs >= 0.0);
+        let snap = crate::histogram("test.span.quiet.seconds").snapshot();
+        assert!(snap.count >= 1);
+    }
+
+    #[test]
+    fn span_emits_event_with_fields_when_sink_active() {
+        let _guard = crate::test_guard();
+        let sink = Arc::new(MemorySink::new());
+        let prev = crate::set_sink(sink.clone());
+        {
+            let _span = crate::span!("test.span.loud", client = 7usize);
+        }
+        crate::set_sink(prev);
+        let events = sink.events_of_kind("span");
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].field("name").and_then(Value::as_str),
+            Some("test.span.loud")
+        );
+        assert_eq!(events[0].field("client").and_then(Value::as_f64), Some(7.0));
+        assert!(events[0].field("secs").is_some());
+    }
+
+    #[test]
+    fn quiet_span_never_emits_events() {
+        let _guard = crate::test_guard();
+        let sink = Arc::new(MemorySink::new());
+        let prev = crate::set_sink(sink.clone());
+        {
+            let _span = crate::quiet_span!("test.span.silent");
+        }
+        crate::set_sink(prev);
+        assert!(sink.is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! A minimal JSON value tree with zero-dependency serialization.
+//!
+//! The whole observability stack (events, metric snapshots, run
+//! manifests) serializes through this one type, so the repo needs no
+//! external JSON crate.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point. Non-finite values serialize as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered list of `(key, value)` pairs. Key order is
+    /// preserved on serialization; duplicate keys are the caller's
+    /// responsibility to avoid.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Serializes to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Appends the compact JSON encoding to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => {
+                out.push_str(&n.to_string());
+            }
+            Value::I64(n) => {
+                out.push_str(&n.to_string());
+            }
+            Value::F64(x) => write_f64(*x, out),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Convenience: builds an object from `(key, value)` pairs.
+    pub fn object(pairs: Vec<(String, Value)>) -> Value {
+        Value::Object(pairs)
+    }
+
+    /// Convenience: builds an array by converting each element.
+    pub fn array<T: Into<Value>>(items: impl IntoIterator<Item = T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Looks up a key in an object; `None` for non-objects or missing
+    /// keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric content of a `U64`/`I64`/`F64` value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string content of a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Writes a finite float as a JSON number; non-finite floats become
+/// `null` (JSON has no NaN/Inf).
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // Rust's Display prints the shortest representation that
+        // round-trips; always decimal, never exponent notation. Keep
+        // integral floats distinguishable as floats ("3.0" rather than
+        // "3") so field types stay stable across runs.
+        let s = x.to_string();
+        let integral = !s.contains('.');
+        out.push_str(&s);
+        if integral {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes `s` as a JSON string literal (quotes + escapes) into `out`.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::U64(n)
+    }
+}
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::U64(n as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::U64(n as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::I64(n)
+    }
+}
+impl From<i32> for Value {
+    fn from(n: i32) -> Value {
+        Value::I64(n as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::F64(x)
+    }
+}
+impl From<f32> for Value {
+    fn from(x: f32) -> Value {
+        Value::F64(x as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(Value::U64(7).to_json(), "7");
+        assert_eq!(Value::I64(-3).to_json(), "-3");
+        assert_eq!(Value::F64(0.5).to_json(), "0.5");
+        assert_eq!(Value::F64(3.0).to_json(), "3.0");
+        assert_eq!(Value::F64(f64::NAN).to_json(), "null");
+        assert_eq!(Value::from("a\"b\n").to_json(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn nested_structures_serialize() {
+        let v = Value::object(vec![
+            ("name".to_string(), Value::from("taco")),
+            ("xs".to_string(), Value::array(vec![1u64, 2, 3])),
+        ]);
+        assert_eq!(v.to_json(), "{\"name\":\"taco\",\"xs\":[1,2,3]}");
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("taco"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let v = Value::from("\u{1}");
+        assert_eq!(v.to_json(), "\"\\u0001\"");
+    }
+}

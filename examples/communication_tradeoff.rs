@@ -46,9 +46,13 @@ fn main() {
     for codec in codecs {
         let name = codec.name();
         let config = SimConfig::new(hyper, rounds, seed).with_compressor(codec.clone());
-        let history =
-            Simulation::new(fed.clone(), proto.clone_model(), Box::new(FedAvg::default()), config)
-                .run();
+        let history = Simulation::new(
+            fed.clone(),
+            proto.clone_model(),
+            Box::new(FedAvg::default()),
+            config,
+        )
+        .run();
         let acc = history.accuracy_series();
         let secs = history.per_round_seconds();
         let mb = history.total_upload_bytes() as f64 / 1e6;

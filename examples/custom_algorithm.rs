@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example custom_algorithm`
 
 use taco::core::taco::TacoConfig;
-use taco::core::{
-    ClientUpdate, FedAvg, FederatedAlgorithm, HyperParams, LocalRule, Taco,
-};
+use taco::core::{ClientUpdate, FedAvg, FederatedAlgorithm, HyperParams, LocalRule, Taco};
 use taco::data::text;
 use taco::nn::CharLstm;
 use taco::sim::{SimConfig, Simulation};

@@ -20,7 +20,10 @@ fn main() {
     let rounds = 12;
     let phis = [5.0, 0.5, 0.1];
 
-    println!("{:>8} {:>10} {:>10} {:>10}", "Dir(phi)", "FedAvg", "Scaffold", "TACO");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "Dir(phi)", "FedAvg", "Scaffold", "TACO"
+    );
     for phi in phis {
         let mut rng = Prng::seed_from_u64(seed);
         let spec = tabular::TabularSpec::adult_like().with_sizes(1200, 300);
@@ -40,14 +43,12 @@ fn main() {
                 * 100.0
         };
 
-        let fedavg = accuracy(Box::new(FedAvg::default()));
+        let fedavg = accuracy(Box::<FedAvg>::default());
         let scaffold = accuracy(Box::new(Scaffold::new(clients, 1.0)));
         let taco = accuracy(Box::new(Taco::new(
             clients,
             TacoConfig::paper_default(rounds, 15),
         )));
-        println!(
-            "{phi:>8} {fedavg:>9.1}% {scaffold:>9.1}% {taco:>9.1}%   (label skew {skew:.2})"
-        );
+        println!("{phi:>8} {fedavg:>9.1}% {scaffold:>9.1}% {taco:>9.1}%   (label skew {skew:.2})");
     }
 }

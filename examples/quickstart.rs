@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use taco::core::{FedAvg, FederatedAlgorithm, HyperParams, Taco};
 use taco::core::taco::TacoConfig;
+use taco::core::{FedAvg, FederatedAlgorithm, HyperParams, Taco};
 use taco::data::{partition, vision, FederatedDataset};
 use taco::nn::PaperCnn;
 use taco::sim::{SimConfig, Simulation};
@@ -39,7 +39,7 @@ fn main() {
         history
     };
 
-    let fedavg = run("FedAvg", Box::new(FedAvg::default()));
+    let fedavg = run("FedAvg", Box::<FedAvg>::default());
     let taco = run(
         "TACO",
         Box::new(Taco::new(clients, TacoConfig::paper_default(rounds, 20))),

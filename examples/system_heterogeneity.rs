@@ -26,7 +26,9 @@ fn main() {
     let hyper = HyperParams::new(clients, 8, 0.05, 16);
 
     // Half the fleet is 8x faster than the other half.
-    let steps: Vec<usize> = (0..clients).map(|i| if i % 2 == 0 { 16 } else { 2 }).collect();
+    let steps: Vec<usize> = (0..clients)
+        .map(|i| if i % 2 == 0 { 16 } else { 2 })
+        .collect();
     println!("per-client local steps: {steps:?}\n");
 
     let algorithms: Vec<Box<dyn FederatedAlgorithm>> = vec![

@@ -6,9 +6,11 @@
 //! - [`taco_data`] — synthetic federated datasets and partitioners
 //! - [`taco_core`] — FL algorithms (TACO + six baselines)
 //! - [`taco_sim`] — federated simulation runtime
+//! - [`taco_trace`] — structured tracing, metrics, and run manifests
 
 pub use taco_core as core;
 pub use taco_data as data;
 pub use taco_nn as nn;
 pub use taco_sim as sim;
 pub use taco_tensor as tensor;
+pub use taco_trace as trace;

@@ -75,8 +75,11 @@ fn taco_beats_fedavg_under_heavy_skew() {
         let config = SimConfig::new(hyper, 12, 9);
         Simulation::new(fed, mlp(9), alg, config).run()
     };
-    let fedavg = run(Box::new(FedAvg::default()));
-    let taco = run(Box::new(Taco::new(clients, TacoConfig::paper_default(12, 10))));
+    let fedavg = run(Box::<FedAvg>::default());
+    let taco = run(Box::new(Taco::new(
+        clients,
+        TacoConfig::paper_default(12, 10),
+    )));
     assert!(
         taco.final_accuracy() >= fedavg.final_accuracy() - 0.02,
         "TACO {:.3} should not trail FedAvg {:.3} under skew",
@@ -156,16 +159,13 @@ fn taco_alphas_stay_in_unit_interval_all_run() {
 }
 
 #[test]
-fn serde_roundtrip_of_history() {
+fn history_clones_and_compares() {
     let clients = 3;
     let fed = tabular_fed(clients, 8, 0.5);
     let hyper = HyperParams::new(clients, 4, 0.05, 8);
     let config = SimConfig::new(hyper, 3, 8);
     let history = Simulation::new(fed, mlp(8), Box::new(FedAvg::default()), config).run();
-    // serde_json is not in the offline crate set; round-trip through
-    // the derived Serialize/Deserialize impls with a hand-rolled
-    // in-memory format instead: clone-compare via bincode-free path.
-    // Sanity: the derived impls exist and the type is Clone+PartialEq.
     let copy = history.clone();
     assert_eq!(copy, history);
+    assert_eq!(copy.rounds.len(), 3);
 }

@@ -1,10 +1,15 @@
-//! Property-based tests (proptest) on the paper's core invariants.
+//! Randomized property tests on the paper's core invariants.
+//!
+//! The offline crate set has no proptest, so these drive the same
+//! properties with seeded [`Prng`] case generators: every case is
+//! deterministic and the failing seed is printed on assert.
 
-use proptest::prelude::*;
 use taco::core::alpha;
 use taco::core::{ClientUpdate, FedAvg, FederatedAlgorithm, HyperParams};
 use taco::data::partition;
 use taco::tensor::{ops, Prng};
+
+const CASES: u64 = 64;
 
 fn update(client: usize, delta: Vec<f32>) -> ClientUpdate {
     ClientUpdate {
@@ -19,35 +24,42 @@ fn update(client: usize, delta: Vec<f32>) -> ClientUpdate {
     }
 }
 
-/// Strategy: a small set of bounded, non-degenerate delta vectors of a
-/// shared dimension.
-fn delta_set() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    (2usize..6, 2usize..8).prop_flat_map(|(n, dim)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-10.0f32..10.0, dim..=dim),
-            n..=n,
-        )
-    })
+/// A small set of bounded, non-degenerate delta vectors of a shared
+/// dimension.
+fn delta_set(rng: &mut Prng) -> Vec<Vec<f32>> {
+    let n = 2 + rng.below(4);
+    let dim = 2 + rng.below(6);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.uniform_f32() * 20.0 - 10.0).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Eq. 7's coefficients always live in [0, 1].
-    #[test]
-    fn alpha_in_unit_interval(deltas in delta_set()) {
+/// Eq. 7's coefficients always live in [0, 1].
+#[test]
+fn alpha_in_unit_interval() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xA1F0 ^ case);
+        let deltas = delta_set(&mut rng);
         let views: Vec<&[f32]> = deltas.iter().map(Vec::as_slice).collect();
         let alphas = alpha::correction_coefficients(&views);
-        prop_assert_eq!(alphas.len(), deltas.len());
+        assert_eq!(alphas.len(), deltas.len());
         for a in alphas {
-            prop_assert!((0.0..=1.0).contains(&a), "alpha {} out of range", a);
+            assert!(
+                (0.0..=1.0).contains(&a),
+                "case {case}: alpha {a} out of range"
+            );
         }
     }
+}
 
-    /// Scaling every delta by the same positive factor leaves Eq. 7
-    /// unchanged (the coefficient is scale-free).
-    #[test]
-    fn alpha_is_scale_invariant(deltas in delta_set(), scale in 0.1f32..10.0) {
+/// Scaling every delta by the same positive factor leaves Eq. 7
+/// unchanged (the coefficient is scale-free).
+#[test]
+fn alpha_is_scale_invariant() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x5CA1E ^ case);
+        let deltas = delta_set(&mut rng);
+        let scale = 0.1 + rng.uniform_f32() * 9.9;
         let views: Vec<&[f32]> = deltas.iter().map(Vec::as_slice).collect();
         let base = alpha::correction_coefficients(&views);
         let scaled: Vec<Vec<f32>> = deltas
@@ -57,33 +69,38 @@ proptest! {
         let views2: Vec<&[f32]> = scaled.iter().map(Vec::as_slice).collect();
         let after = alpha::correction_coefficients(&views2);
         for (b, a) in base.iter().zip(&after) {
-            prop_assert!((b - a).abs() < 1e-3, "{} vs {}", b, a);
+            assert!((b - a).abs() < 1e-3, "case {case}: {b} vs {a}");
         }
     }
+}
 
-    /// The extrapolated output z_t (Eq. 15) is exact linear
-    /// extrapolation: alpha = 1 returns w_t, alpha = 0 doubles the step.
-    #[test]
-    fn extrapolation_endpoints(
-        (w, step) in (1usize..6).prop_flat_map(|n| (
-            proptest::collection::vec(-5.0f32..5.0, n..=n),
-            proptest::collection::vec(-1.0f32..1.0, n..=n),
-        )),
-    ) {
+/// The extrapolated output z_t (Eq. 15) is exact linear extrapolation:
+/// alpha = 1 returns w_t, alpha = 0 doubles the step.
+#[test]
+fn extrapolation_endpoints() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xE87 ^ case);
+        let n = 1 + rng.below(5);
+        let w: Vec<f32> = (0..n).map(|_| rng.uniform_f32() * 10.0 - 5.0).collect();
+        let step: Vec<f32> = (0..n).map(|_| rng.uniform_f32() * 2.0 - 1.0).collect();
         let prev: Vec<f32> = w.iter().zip(&step).map(|(a, b)| a - b).collect();
         let z1 = alpha::extrapolated_output(&w, &prev, 1.0);
         for (a, b) in z1.iter().zip(&w) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6, "case {case}");
         }
         let z0 = alpha::extrapolated_output(&w, &prev, 0.0);
         for ((z, wv), s) in z0.iter().zip(&w).zip(&step) {
-            prop_assert!((z - (wv + s)).abs() < 1e-5);
+            assert!((z - (wv + s)).abs() < 1e-5, "case {case}");
         }
     }
+}
 
-    /// FedAvg aggregation is permutation-invariant in the client order.
-    #[test]
-    fn fedavg_is_permutation_invariant(deltas in delta_set(), perm_seed in 0u64..1000) {
+/// FedAvg aggregation is permutation-invariant in the client order.
+#[test]
+fn fedavg_is_permutation_invariant() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xFEDA ^ case);
+        let deltas = delta_set(&mut rng);
         let dim = deltas[0].len();
         let global = vec![0.0f32; dim];
         let hyper = HyperParams::new(deltas.len(), 4, 0.1, 8);
@@ -95,26 +112,25 @@ proptest! {
         let mut alg1 = FedAvg::default();
         let next1 = alg1.aggregate(&global, &updates, &hyper);
         let mut shuffled = updates;
-        let mut rng = Prng::seed_from_u64(perm_seed);
         rng.shuffle(&mut shuffled);
         let mut alg2 = FedAvg::default();
         let next2 = alg2.aggregate(&global, &shuffled, &hyper);
         for (a, b) in next1.iter().zip(&next2) {
-            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-4, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// Partitioners conserve samples: every index appears exactly once.
-    #[test]
-    fn partitions_are_exact(
-        n in 20usize..200,
-        classes in 2usize..11,
-        clients in 1usize..12,
-        phi in 0.05f64..5.0,
-        seed in 0u64..500,
-    ) {
+/// Partitioners conserve samples: every index appears exactly once.
+#[test]
+fn partitions_are_exact() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x9A87 ^ case);
+        let n = 20 + rng.below(180);
+        let classes = 2 + rng.below(9);
+        let clients = 1 + rng.below(11);
+        let phi = 0.05 + rng.uniform_f64() * 4.95;
         let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
-        let mut rng = Prng::seed_from_u64(seed);
         for shards in [
             partition::iid(&labels, clients, &mut rng),
             partition::dirichlet(&labels, clients, phi, &mut rng),
@@ -123,22 +139,22 @@ proptest! {
             let mut seen = vec![false; n];
             for s in &shards {
                 for &i in s {
-                    prop_assert!(!seen[i], "duplicate sample {}", i);
+                    assert!(!seen[i], "case {case}: duplicate sample {i}");
                     seen[i] = true;
                 }
             }
-            prop_assert!(seen.iter().all(|&s| s), "lost a sample");
+            assert!(seen.iter().all(|&s| s), "case {case}: lost a sample");
         }
     }
+}
 
-    /// The weighted mean lies inside the convex hull coordinate-wise.
-    #[test]
-    fn weighted_mean_is_convex(
-        deltas in delta_set(),
-        wseed in 0u64..100,
-    ) {
+/// The weighted mean lies inside the convex hull coordinate-wise.
+#[test]
+fn weighted_mean_is_convex() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x3EA7 ^ case);
+        let deltas = delta_set(&mut rng);
         let views: Vec<&[f32]> = deltas.iter().map(Vec::as_slice).collect();
-        let mut rng = Prng::seed_from_u64(wseed);
         let weights: Vec<f32> = (0..deltas.len())
             .map(|_| rng.uniform_f32() + 0.01)
             .collect();
@@ -146,21 +162,25 @@ proptest! {
         for j in 0..mean.len() {
             let lo = views.iter().map(|v| v[j]).fold(f32::INFINITY, f32::min);
             let hi = views.iter().map(|v| v[j]).fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(mean[j] >= lo - 1e-4 && mean[j] <= hi + 1e-4);
+            assert!(
+                mean[j] >= lo - 1e-4 && mean[j] <= hi + 1e-4,
+                "case {case}: coordinate {j} escaped the hull"
+            );
         }
     }
+}
 
-    /// Cosine similarity is symmetric and bounded.
-    #[test]
-    fn cosine_symmetric_bounded(
-        (a, b) in (1usize..32).prop_flat_map(|n| (
-            proptest::collection::vec(-100.0f32..100.0, n..=n),
-            proptest::collection::vec(-100.0f32..100.0, n..=n),
-        )),
-    ) {
+/// Cosine similarity is symmetric and bounded.
+#[test]
+fn cosine_symmetric_bounded() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xC05 ^ case);
+        let n = 1 + rng.below(31);
+        let a: Vec<f32> = (0..n).map(|_| rng.uniform_f32() * 200.0 - 100.0).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.uniform_f32() * 200.0 - 100.0).collect();
         let ab = ops::cosine_similarity(&a, &b);
         let ba = ops::cosine_similarity(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-6);
-        prop_assert!((-1.0..=1.0).contains(&ab));
+        assert!((ab - ba).abs() < 1e-6, "case {case}");
+        assert!((-1.0..=1.0).contains(&ab), "case {case}: cos {ab}");
     }
 }
