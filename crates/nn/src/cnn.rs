@@ -182,7 +182,7 @@ impl PaperCnn {
             let cache = &self.sample_caches[i];
             // Unpool 2.
             let a2_len = g.c2_out * g.c2_side * g.c2_side;
-            let mut ga2 = maxpool2d_backward(gfeat.row(i), &cache.pool2_arg, a2_len);
+            let mut ga2 = maxpool2d_backward(gfeat.row(i), &cache.pool2_arg, g.c2_out, a2_len);
             for (v, &m) in ga2.iter_mut().zip(&cache.relu2_mask) {
                 if !m {
                     *v = 0.0;
@@ -191,7 +191,7 @@ impl PaperCnn {
             let gp1 = self.conv2.backward_sample(i, &ga2, g.p1_side, g.p1_side);
             // Unpool 1.
             let a1_len = g.c1_out * g.c1_side * g.c1_side;
-            let mut ga1 = maxpool2d_backward(&gp1, &cache.pool1_arg, a1_len);
+            let mut ga1 = maxpool2d_backward(&gp1, &cache.pool1_arg, g.c1_out, a1_len);
             for (v, &m) in ga1.iter_mut().zip(&cache.relu1_mask) {
                 if !m {
                     *v = 0.0;

@@ -4,6 +4,7 @@
 //! invariants (finiteness, layout stability under clone).
 
 use taco_nn::{Batch, CharLstm, Mlp, Model, PaperCnn, TinyResNet};
+use taco_tensor::pool::{self, Pool};
 use taco_tensor::{ops, Prng, Tensor};
 
 fn check_gradient(model: &mut dyn Model, batch: &Batch, coords: usize, tol: f32) {
@@ -63,12 +64,103 @@ fn resnet_gradcheck() {
 }
 
 #[test]
+fn resnet_wide_gradcheck() {
+    // Wider stem (8 -> 8/16/32 stage channels), larger side and two
+    // input channels: exercises the blocked matmul/conv paths with
+    // non-trivial panel tails rather than the minimal 8x8 config.
+    let mut rng = Prng::seed_from_u64(7);
+    let mut m = TinyResNet::new(2, 12, 5, 8, &mut rng);
+    let x = Tensor::randn([2, 2, 12, 12], 1.0, &mut rng);
+    let batch = Batch::new(x, vec![4, 1]);
+    check_gradient(&mut m, &batch, 10, 3e-2);
+}
+
+#[test]
 fn lstm_gradcheck() {
     let mut rng = Prng::seed_from_u64(4);
     let mut m = CharLstm::new(8, 5, 6, &mut rng);
     let x = Tensor::from_vec(vec![0.0, 3.0, 7.0, 1.0, 2.0, 5.0], [2, 3]);
     let batch = Batch::new(x, vec![4, 6]);
     check_gradient(&mut m, &batch, 25, 2e-2);
+}
+
+#[test]
+fn lstm_wide_gradcheck() {
+    // Bigger vocab/embedding/hidden and a longer sequence: the
+    // recurrence unrolls through more steps, so errors in the blocked
+    // gate matmuls would compound and show up in the finite diff.
+    let mut rng = Prng::seed_from_u64(8);
+    let mut m = CharLstm::new(12, 8, 16, &mut rng);
+    let x = Tensor::from_vec(
+        vec![0.0, 3.0, 11.0, 1.0, 2.0, 5.0, 7.0, 9.0, 4.0, 10.0],
+        [2, 5],
+    );
+    let batch = Batch::new(x, vec![6, 2]);
+    check_gradient(&mut m, &batch, 20, 2e-2);
+}
+
+/// Runs `loss_and_grad` on clones of the same model under a
+/// single-thread pool and an 8-thread pool and demands bit-equal
+/// results — the worker pool's deterministic row partitioning must
+/// make thread count invisible to training.
+fn assert_grads_thread_count_invariant(m: &dyn Model, batch: &Batch) {
+    let mut m1 = m.clone_model();
+    let mut m8 = m.clone_model();
+    let p1 = Pool::new(1);
+    let p8 = Pool::new(8);
+    let (l1, g1) = pool::with_pool(&p1, || m1.loss_and_grad(batch));
+    let (l8, g8) = pool::with_pool(&p8, || m8.loss_and_grad(batch));
+    assert_eq!(
+        l1.to_bits(),
+        l8.to_bits(),
+        "loss differs across thread counts: {l1} vs {l8}"
+    );
+    assert_eq!(g1.len(), g8.len());
+    for (i, (a, b)) in g1.iter().zip(&g8).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "grad[{i}] differs across thread counts: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn mlp_gradients_are_thread_count_invariant() {
+    // Sized so the hidden-layer matmuls cross the pool's parallel
+    // threshold: 64x128 batch activations actually fan out to workers.
+    let mut rng = Prng::seed_from_u64(9);
+    let m = Mlp::new(64, &[128, 64], 10, &mut rng);
+    let x = Tensor::randn([64, 64], 1.0, &mut rng);
+    let targets = (0..64).map(|i| i % 10).collect();
+    assert_grads_thread_count_invariant(&m, &Batch::new(x, targets));
+}
+
+#[test]
+fn cnn_gradients_are_thread_count_invariant() {
+    let mut rng = Prng::seed_from_u64(10);
+    let m = PaperCnn::new(1, 16, 10, 8, 32, &mut rng);
+    let x = Tensor::randn([8, 1, 16, 16], 1.0, &mut rng);
+    let targets = (0..8).map(|i| i % 10).collect();
+    assert_grads_thread_count_invariant(&m, &Batch::new(x, targets));
+}
+
+#[test]
+fn resnet_gradients_are_thread_count_invariant() {
+    let mut rng = Prng::seed_from_u64(11);
+    let m = TinyResNet::new(1, 16, 10, 8, &mut rng);
+    let x = Tensor::randn([4, 1, 16, 16], 1.0, &mut rng);
+    let targets = (0..4).map(|i| i % 10).collect();
+    assert_grads_thread_count_invariant(&m, &Batch::new(x, targets));
+}
+
+#[test]
+fn lstm_gradients_are_thread_count_invariant() {
+    let mut rng = Prng::seed_from_u64(12);
+    let m = CharLstm::new(16, 12, 24, &mut rng);
+    let seq: Vec<f32> = (0..32).map(|i| f32::from(i as u8 % 16)).collect();
+    let x = Tensor::from_vec(seq, [4, 8]);
+    assert_grads_thread_count_invariant(&m, &Batch::new(x, vec![3, 7, 11, 15]));
 }
 
 #[test]

@@ -35,9 +35,14 @@ pub struct SimConfig {
     pub seed: u64,
     /// Per-client behaviours; defaults to all-honest.
     pub behaviors: Vec<ClientBehavior>,
-    /// Run clients on parallel threads. Timing experiments (Table I,
-    /// Fig. 5) should disable this so per-client wall-clock
-    /// measurements don't contend for cores.
+    /// Run clients as parallel tasks on the shared worker pool
+    /// ([`taco_tensor::pool`], sized by `TACO_THREADS`). Kernels inside
+    /// a pooled client run inline, so total concurrency never exceeds
+    /// the pool size; when the pool has one thread this flag is a
+    /// no-op. Timing experiments (Table I, Fig. 5) should disable it so
+    /// per-client wall-clock measurements don't contend for cores.
+    /// Histories are bit-identical whatever this flag or the thread
+    /// count — see the pool module docs.
     pub parallel: bool,
     /// Evaluate the global model every `eval_every` rounds (always
     /// including the last).
@@ -412,7 +417,13 @@ impl Simulation {
         history
     }
 
-    /// Executes honest-client jobs, sequentially or on scoped threads.
+    /// Executes honest-client jobs, sequentially or on the shared
+    /// worker pool ([`taco_tensor::pool`]). One job is one pool task;
+    /// tensor kernels invoked inside a pooled job detect they're on a
+    /// worker thread and run inline, so clients and kernels share the
+    /// same `TACO_THREADS` budget instead of oversubscribing. With
+    /// `TACO_THREADS=1` (or [`SimConfig::sequential`]) everything runs
+    /// on the caller; histories are bit-identical either way.
     fn execute_jobs(
         &self,
         global: &[f32],
@@ -449,24 +460,13 @@ impl Simulation {
             drop(span);
             u
         };
-        if !self.config.parallel || jobs.len() <= 1 {
+        if !self.config.parallel || jobs.len() <= 1 || taco_tensor::pool::threads() <= 1 {
             return jobs.iter().map(run_one).collect();
         }
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .min(jobs.len());
-        let chunk = jobs.len().div_ceil(threads);
         let mut results: Vec<Option<ClientUpdate>> = Vec::new();
         results.resize_with(jobs.len(), || None);
-        std::thread::scope(|scope| {
-            for (slice_jobs, slice_out) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (j, out) in slice_jobs.iter().zip(slice_out.iter_mut()) {
-                        *out = Some(run_one(j));
-                    }
-                });
-            }
+        taco_tensor::pool::for_each_chunk(&mut results, 1, |i, slot| {
+            slot[0] = Some(run_one(&jobs[i]));
         });
         results
             .into_iter()

@@ -8,9 +8,33 @@
 //! Layout conventions: activations are `[batch, channels, height,
 //! width]` (NCHW) flattened row-major; kernels are `[out_ch, in_ch,
 //! kh, kw]`.
+//!
+//! The patch-matrix and pooling loops here run on the worker pool
+//! ([`crate::pool`]) when the problem is large enough: `im2col` is
+//! split over output-row blocks and `col2im` / max-pooling over
+//! channels — partitions whose writes are disjoint and whose
+//! per-element accumulation order matches the sequential loops, so
+//! results are bit-identical at any thread count. Each kernel reports
+//! `kernel.*` time/call/element metrics via `taco-trace`.
 
+use crate::ktrace;
 use crate::linalg;
+use crate::pool;
+use crate::pool::SendPtr;
 use crate::Tensor;
+
+static K_IM2COL: ktrace::Kernel = ktrace::Kernel::new("kernel.im2col");
+static K_COL2IM: ktrace::Kernel = ktrace::Kernel::new("kernel.col2im");
+static K_MAXPOOL: ktrace::Kernel = ktrace::Kernel::new("kernel.maxpool2d");
+static K_MAXPOOL_BWD: ktrace::Kernel = ktrace::Kernel::new("kernel.maxpool2d_bwd");
+
+/// Below this many moved elements a conv/pool kernel stays on the
+/// caller; these loops are copy-bound, so the dispatch only pays off
+/// for reasonably large planes.
+const MIN_PAR_ELEMS: usize = 1 << 14;
+
+/// `im2col` output rows (`oy` values) per parallel chunk.
+const IM2COL_ROWS_PER_CHUNK: usize = 4;
 
 /// Geometry of a 2-D convolution or pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,30 +82,46 @@ pub fn im2col(input: &[f32], h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
     let (oh, ow) = spec.output_hw(h, w);
     let k = spec.kernel;
     let cols = spec.in_channels * k * k;
+    let _t = K_IM2COL.record((oh * ow * cols) as u64);
     let mut out = vec![0.0f32; oh * ow * cols];
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let row = oy * ow + ox;
-            let base = row * cols;
-            for c in 0..spec.in_channels {
-                for ky in 0..k {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kx in 0..k {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
+    if out.is_empty() {
+        return Tensor::from_vec(out, &[oh * ow, cols][..]);
+    }
+    // Each output row `oy` owns a contiguous `ow * cols` slice; chunks
+    // are fixed-size row blocks (pure copies — any partition is exact).
+    let row_elems = ow * cols;
+    let rows_per_chunk = if oh * row_elems < MIN_PAR_ELEMS || pool::threads() <= 1 {
+        oh
+    } else {
+        IM2COL_ROWS_PER_CHUNK
+    };
+    pool::for_each_chunk(&mut out, rows_per_chunk * row_elems, |ci, chunk| {
+        let oy0 = ci * rows_per_chunk;
+        let oys = chunk.len() / row_elems;
+        for dy in 0..oys {
+            let oy = oy0 + dy;
+            for ox in 0..ow {
+                let base = (dy * ow + ox) * cols;
+                for c in 0..spec.in_channels {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        let src = c * h * w + iy as usize * w + ix as usize;
-                        let dst = base + c * k * k + ky * k + kx;
-                        out[dst] = input[src];
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let src = c * h * w + iy as usize * w + ix as usize;
+                            let dst = base + c * k * k + ky * k + kx;
+                            chunk[dst] = input[src];
+                        }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[oh * ow, cols][..])
 }
 
@@ -92,31 +132,49 @@ pub fn col2im(cols_t: &Tensor, h: usize, w: usize, spec: &Conv2dSpec) -> Vec<f32
     let k = spec.kernel;
     let cols = spec.in_channels * k * k;
     assert_eq!(cols_t.dims(), &[oh * ow, cols], "col2im shape mismatch");
+    let _t = K_COL2IM.record((oh * ow * cols) as u64);
     let mut out = vec![0.0f32; spec.in_channels * h * w];
+    if out.is_empty() {
+        return out;
+    }
     let data = cols_t.data();
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let row = oy * ow + ox;
-            let base = row * cols;
-            for c in 0..spec.in_channels {
-                for ky in 0..k {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kx in 0..k {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
+    let chw = h * w;
+    // Scatter is parallel over channels: every destination belongs to
+    // exactly one channel, and within a channel the (oy, ox, ky, kx)
+    // accumulation order below is the same as the sequential loop's, so
+    // the f32 sums are bit-identical.
+    let chunk_len = if oh * ow * cols < MIN_PAR_ELEMS || pool::threads() <= 1 {
+        out.len()
+    } else {
+        chw
+    };
+    pool::for_each_chunk(&mut out, chunk_len, |ci, chunk| {
+        let c0 = ci * chunk_len / chw;
+        let nch = chunk.len() / chw;
+        for dc in 0..nch {
+            let c = c0 + dc;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base = (oy * ow + ox) * cols;
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        let dst = c * h * w + iy as usize * w + ix as usize;
-                        let src = base + c * k * k + ky * k + kx;
-                        out[dst] += data[src];
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let dst = dc * chw + iy as usize * w + ix as usize;
+                            let src = base + c * k * k + ky * k + kx;
+                            chunk[dst] += data[src];
+                        }
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -207,9 +265,11 @@ pub fn maxpool2d_forward(
     );
     let oh = (h - window) / stride + 1;
     let ow = (w - window) / stride + 1;
-    let mut out = vec![0.0f32; channels * oh * ow];
-    let mut arg = vec![0usize; channels * oh * ow];
-    for c in 0..channels {
+    let plane = oh * ow;
+    let mut out = vec![0.0f32; channels * plane];
+    let mut arg = vec![0usize; channels * plane];
+    let _t = K_MAXPOOL.record((channels * plane * window * window) as u64);
+    let per_channel = |c: usize, out_c: &mut [f32], arg_c: &mut [usize]| {
         for oy in 0..oh {
             for ox in 0..ow {
                 let mut best = f32::NEG_INFINITY;
@@ -225,22 +285,97 @@ pub fn maxpool2d_forward(
                         }
                     }
                 }
-                let o = c * oh * ow + oy * ow + ox;
-                out[o] = best;
-                arg[o] = best_idx;
+                let o = oy * ow + ox;
+                out_c[o] = best;
+                arg_c[o] = best_idx;
             }
         }
+    };
+    if channels * plane * window * window < MIN_PAR_ELEMS || pool::threads() <= 1 {
+        for c in 0..channels {
+            per_channel(
+                c,
+                &mut out[c * plane..(c + 1) * plane],
+                &mut arg[c * plane..(c + 1) * plane],
+            );
+        }
+    } else {
+        let outp = SendPtr(out.as_mut_ptr());
+        let argp = SendPtr(arg.as_mut_ptr());
+        pool::for_each_index(channels, |c| {
+            // SAFETY: each channel index is claimed exactly once and
+            // maps to disjoint `plane`-long regions of `out` and `arg`,
+            // which outlive the dispatch.
+            let out_c = unsafe { std::slice::from_raw_parts_mut(outp.get().add(c * plane), plane) };
+            let arg_c = unsafe { std::slice::from_raw_parts_mut(argp.get().add(c * plane), plane) };
+            per_channel(c, out_c, arg_c);
+        });
     }
     (out, arg)
 }
 
 /// Backward max pooling: routes each output gradient to the input
-/// element that won the forward max.
-pub fn maxpool2d_backward(grad_out: &[f32], argmax: &[usize], input_len: usize) -> Vec<f32> {
+/// element that won the forward max. `channels` must match the forward
+/// call — the scatter parallelizes per channel (argmax indices from
+/// [`maxpool2d_forward`] always stay within their channel's plane).
+///
+/// # Panics
+///
+/// Panics if `channels` is zero or doesn't divide both `input_len` and
+/// `grad_out.len()`, or if an argmax index falls outside its channel.
+pub fn maxpool2d_backward(
+    grad_out: &[f32],
+    argmax: &[usize],
+    channels: usize,
+    input_len: usize,
+) -> Vec<f32> {
+    assert!(
+        channels > 0,
+        "maxpool2d_backward needs at least one channel"
+    );
+    assert_eq!(
+        input_len % channels,
+        0,
+        "input_len not divisible by channels"
+    );
+    assert_eq!(
+        grad_out.len() % channels,
+        0,
+        "grad_out not divisible by channels"
+    );
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "grad_out/argmax length mismatch"
+    );
+    let _t = K_MAXPOOL_BWD.record(grad_out.len() as u64);
     let mut grad_in = vec![0.0f32; input_len];
-    for (g, &idx) in grad_out.iter().zip(argmax) {
-        grad_in[idx] += g;
+    if input_len == 0 {
+        return grad_in;
     }
+    let chw = input_len / channels;
+    let plane = grad_out.len() / channels;
+    let chunk_len = if grad_out.len() < MIN_PAR_ELEMS || pool::threads() <= 1 {
+        input_len
+    } else {
+        chw
+    };
+    pool::for_each_chunk(&mut grad_in, chunk_len, |ci, chunk| {
+        let c0 = ci * chunk_len / chw;
+        let nch = chunk.len() / chw;
+        for dc in 0..nch {
+            let c = c0 + dc;
+            let go = &grad_out[c * plane..(c + 1) * plane];
+            let am = &argmax[c * plane..(c + 1) * plane];
+            for (g, &idx) in go.iter().zip(am) {
+                let local = idx
+                    .checked_sub(c * chw)
+                    .filter(|&l| l < chw)
+                    .expect("argmax index escapes its channel");
+                chunk[dc * chw + local] += g;
+            }
+        }
+    });
     grad_in
 }
 
@@ -432,7 +567,7 @@ mod tests {
         ];
         let (out, arg) = maxpool2d_forward(&input, 1, 4, 4, 2, 2);
         assert_eq!(out, vec![4.0, 8.0, 12.0, 16.0]);
-        let grad = maxpool2d_backward(&[1.0, 2.0, 3.0, 4.0], &arg, input.len());
+        let grad = maxpool2d_backward(&[1.0, 2.0, 3.0, 4.0], &arg, 1, input.len());
         assert_eq!(grad[5], 1.0);
         assert_eq!(grad[7], 2.0);
         assert_eq!(grad[13], 3.0);

@@ -6,10 +6,15 @@
 //! - [`Tensor`]: a dense, row-major, `f32` n-dimensional array with the
 //!   element-wise and reduction operations needed for neural-network
 //!   training.
-//! - [`linalg`]: blocked matrix multiplication (plain / transposed
-//!   variants) tuned for the layer shapes used by the workspace models.
+//! - [`linalg`]: cache-blocked, register-tiled matrix multiplication
+//!   (plain / transposed variants) with runtime AVX dispatch and
+//!   bit-exact naive reference kernels for differential testing.
 //! - [`conv`]: `im2col`-based 2-D convolution and max-pooling
 //!   forward/backward kernels.
+//! - [`pool`]: a persistent worker pool (`TACO_THREADS`) that the
+//!   matmul/conv kernels and the simulation's client loop share;
+//!   partitioning is size-independent so results are bit-identical at
+//!   any thread count.
 //! - [`ops`]: flat-vector helpers (`dot`, `norm`, `cosine_similarity`,
 //!   `axpy`, ...) used pervasively by the federated-learning algorithms,
 //!   which treat model parameters as flat `&[f32]` slices.
@@ -34,8 +39,10 @@
 #![deny(missing_docs)]
 
 pub mod conv;
+mod ktrace;
 pub mod linalg;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod stats;

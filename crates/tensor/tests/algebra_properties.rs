@@ -1,7 +1,13 @@
 //! Randomized property tests for the tensor substrate's algebraic
 //! identities, driven by seeded [`Prng`] case generators (the offline
-//! crate set has no proptest).
+//! crate set has no proptest), plus the differential kernel suite:
+//! blocked/parallel matmul vs the frozen naive references across
+//! ragged shapes, with *exact bit* agreement, and determinism probes
+//! showing `TACO_THREADS=1` and `TACO_THREADS=8` produce identical
+//! bits (in-process via pool overrides and across real processes via
+//! the environment variable).
 
+use taco_tensor::pool::{self, Pool};
 use taco_tensor::{conv, linalg, ops, Prng, Tensor};
 
 const CASES: u64 = 48;
@@ -155,4 +161,206 @@ fn below_in_range() {
             assert!(rng.below(bound) < bound, "case {case}");
         }
     }
+}
+
+// --- Differential kernel tests ------------------------------------
+
+/// Ragged shape generator: 1×1, prime dims, tall/skinny, batch-like
+/// (≤64), and pool-engaging sizes (the blocked kernels only dispatch
+/// to workers above a work threshold, so some cases must be big).
+fn ragged_dims(rng: &mut Prng) -> (usize, usize, usize) {
+    const PRIMES: &[usize] = &[
+        1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 47, 53, 61,
+    ];
+    let pick = |rng: &mut Prng| PRIMES[rng.below(PRIMES.len())];
+    match rng.below(5) {
+        0 => (1, 1, 1),
+        1 => (pick(rng), pick(rng), pick(rng)),
+        // Tall & skinny either way.
+        2 => (97 + rng.below(80), 1 + rng.below(6), 1 + rng.below(6)),
+        3 => (1 + rng.below(6), 1 + rng.below(6), 97 + rng.below(80)),
+        // Batch-like, large enough to cross the parallel threshold.
+        _ => (33 + rng.below(32), 83 + rng.below(60), 83 + rng.below(60)),
+    }
+}
+
+fn ragged(rows: usize, cols: usize, rng: &mut Prng) -> Tensor {
+    // Mix magnitudes and exact zeros so the naive kernels' zero-skip
+    // path is exercised by the comparison.
+    let v: Vec<f32> = (0..rows * cols)
+        .map(|_| match rng.below(8) {
+            0 => 0.0,
+            1 => rng.normal_f32() * 1e4,
+            2 => rng.normal_f32() * 1e-4,
+            _ => rng.normal_f32(),
+        })
+        .collect();
+    Tensor::from_vec(v, &[rows, cols][..])
+}
+
+fn assert_bits(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.dims(), want.dims(), "{what}: shape");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+/// Blocked kernels vs the frozen naive references, exact to the bit,
+/// on 1 and 8 in-process pool threads.
+#[test]
+fn blocked_kernels_match_naive_bitwise_across_ragged_shapes() {
+    let one = Pool::new(1);
+    let eight = Pool::new(8);
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0xD1FF ^ case);
+        let (m, k, n) = ragged_dims(&mut rng);
+        let a = ragged(m, k, &mut rng);
+        let b = ragged(k, n, &mut rng);
+        let at = ragged(k, m, &mut rng);
+        let bt = ragged(n, k, &mut rng);
+        let want_nn = linalg::matmul_naive(&a, &b);
+        let want_tn = linalg::matmul_tn_naive(&at, &b);
+        let want_nt = linalg::matmul_nt_naive(&a, &bt);
+        for (pool, label) in [(&one, "1t"), (&eight, "8t")] {
+            pool::with_pool(pool, || {
+                assert_bits(
+                    &linalg::matmul(&a, &b),
+                    &want_nn,
+                    &format!("case {case} matmul {m}x{k}x{n} {label}"),
+                );
+                assert_bits(
+                    &linalg::matmul_tn(&at, &b),
+                    &want_tn,
+                    &format!("case {case} matmul_tn {m}x{k}x{n} {label}"),
+                );
+                assert_bits(
+                    &linalg::matmul_nt(&a, &bt),
+                    &want_nt,
+                    &format!("case {case} matmul_nt {m}x{k}x{n} {label}"),
+                );
+            });
+        }
+    }
+}
+
+/// One deliberately pool-heavy shape: many chunks, uneven tail rows.
+#[test]
+fn parallel_chunking_is_bit_identical_on_uneven_tails() {
+    let mut rng = Prng::seed_from_u64(0xBEEF);
+    // 131 rows = 4 full MC=32 chunks + a 3-row tail chunk.
+    let a = ragged(131, 113, &mut rng);
+    let b = ragged(113, 127, &mut rng);
+    let want = linalg::matmul_naive(&a, &b);
+    for threads in [1, 2, 3, 8] {
+        let p = Pool::new(threads);
+        pool::with_pool(&p, || {
+            assert_bits(
+                &linalg::matmul(&a, &b),
+                &want,
+                &format!("{threads} threads"),
+            );
+        });
+    }
+}
+
+// --- TACO_THREADS determinism across processes --------------------
+
+/// Hashes every kernel output (matmul family + conv/pool paths) for a
+/// fixed seed into one FNV-1a digest.
+fn kernel_digest() -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |bits: u64| {
+        h ^= bits;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let mut rng = Prng::seed_from_u64(0x51D);
+    let a = ragged(70, 190, &mut rng);
+    let b = ragged(190, 60, &mut rng);
+    let bt = ragged(60, 190, &mut rng);
+    for t in [
+        linalg::matmul(&a, &b),
+        linalg::matmul_tn(&a.transpose(), &b),
+        linalg::matmul_nt(&a, &bt),
+    ] {
+        for v in t.data() {
+            fold(u64::from(v.to_bits()));
+        }
+    }
+    let spec = conv::Conv2dSpec {
+        in_channels: 3,
+        out_channels: 8,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let img = Tensor::randn(&[3 * 24 * 24][..], 1.0, &mut rng);
+    let weight = Tensor::randn(&[8, 3 * 9][..], 0.5, &mut rng);
+    let (out, cols) = conv::conv2d_forward(img.data(), 24, 24, &weight, &[0.0; 8], &spec);
+    let mut gw = Tensor::zeros(&[8, 3 * 9][..]);
+    let mut gb = [0.0f32; 8];
+    let gin = conv::conv2d_backward(&out, 24, 24, &weight, &cols, &spec, &mut gw, &mut gb);
+    let (pooled, arg) = conv::maxpool2d_forward(&out, 8, 24, 24, 2, 2);
+    let gpool = conv::maxpool2d_backward(&pooled, &arg, 8, out.len());
+    for series in [&out[..], &gin, gw.data(), &pooled, &gpool] {
+        for v in series {
+            fold(u64::from(v.to_bits()));
+        }
+    }
+    h
+}
+
+/// Prints the digest under the ambient `TACO_THREADS`; harnessed by
+/// [`taco_threads_env_is_bit_deterministic`], which runs this test in
+/// child processes with different settings. Also asserts in-process
+/// that 1-thread and 8-thread pools reproduce the ambient digest.
+#[test]
+fn kernel_digest_probe() {
+    let ambient = kernel_digest();
+    println!("KERNEL_DIGEST=0x{ambient:016x}");
+    let one = pool::with_pool(&Pool::new(1), kernel_digest);
+    let eight = pool::with_pool(&Pool::new(8), kernel_digest);
+    assert_eq!(ambient, one, "ambient vs 1-thread digest");
+    assert_eq!(one, eight, "1-thread vs 8-thread digest");
+}
+
+/// Spawns this test binary twice — `TACO_THREADS=1` and
+/// `TACO_THREADS=8` — and asserts both print the same kernel digest:
+/// the environment knob itself, not just the in-process override, is
+/// bit-deterministic.
+#[test]
+fn taco_threads_env_is_bit_deterministic() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let digest_for = |threads: &str| -> String {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "kernel_digest_probe",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            .env("TACO_THREADS", threads)
+            .output()
+            .expect("spawn kernel_digest_probe child");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            out.status.success(),
+            "child with TACO_THREADS={threads} failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // `--nocapture` may glue the digest onto libtest's status line,
+        // so scan for the marker anywhere rather than at line starts.
+        stdout
+            .split("KERNEL_DIGEST=")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no digest line in child output:\n{stdout}"))
+    };
+    let d1 = digest_for("1");
+    let d8 = digest_for("8");
+    assert_eq!(d1, d8, "TACO_THREADS=1 vs TACO_THREADS=8 digests differ");
 }
