@@ -1,0 +1,134 @@
+//! The committed baseline: a list of known legacy findings that are
+//! tolerated while being burned down deliberately.
+//!
+//! Format is one entry per line, `<rule-id> <file>:<line>`, with `#`
+//! comments and blank lines ignored:
+//!
+//! ```text
+//! # burning down: tracked in ISSUE 4
+//! D4 crates/sim/src/runner.rs:473
+//! ```
+//!
+//! Entries that no longer match any finding are reported as *stale* so
+//! the baseline shrinks monotonically instead of fossilizing.
+
+use crate::rules::{Finding, RuleId};
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: RuleId,
+    pub file: String,
+    pub line: u32,
+}
+
+impl BaselineEntry {
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule && self.file == f.file && self.line == f.line
+    }
+
+    pub fn render(&self) -> String {
+        format!("{} {}:{}", self.rule.id(), self.file, self.line)
+    }
+}
+
+/// Parses baseline text. Unparseable lines are returned separately so
+/// the caller can surface them instead of silently tolerating typos.
+pub fn parse(text: &str) -> (Vec<BaselineEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_entry(line) {
+            Some(e) => entries.push(e),
+            None => bad.push(line.to_string()),
+        }
+    }
+    (entries, bad)
+}
+
+fn parse_entry(line: &str) -> Option<BaselineEntry> {
+    let (rule_s, loc) = line.split_once(' ')?;
+    let rule = RuleId::parse(rule_s.trim())?;
+    let (file, line_s) = loc.trim().rsplit_once(':')?;
+    Some(BaselineEntry {
+        rule,
+        file: file.to_string(),
+        line: line_s.parse().ok()?,
+    })
+}
+
+/// Splits `findings` into (kept, baselined) and reports stale entries.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[BaselineEntry],
+) -> (Vec<Finding>, usize, Vec<BaselineEntry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut baselined = 0usize;
+    for f in findings {
+        match entries.iter().position(|e| e.matches(&f)) {
+            Some(i) => {
+                used[i] = true;
+                baselined += 1;
+            }
+            None => kept.push(f),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, baselined, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_comments_and_garbage() {
+        let (entries, bad) = parse("# comment\n\nD4 crates/sim/src/runner.rs:473\nnot an entry\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, RuleId::D4Unwrap);
+        assert_eq!(entries[0].file, "crates/sim/src/runner.rs");
+        assert_eq!(entries[0].line, 473);
+        assert_eq!(bad, vec!["not an entry".to_string()]);
+    }
+
+    #[test]
+    fn apply_partitions_and_reports_stale() {
+        let (entries, _) = parse("D4 a.rs:1\nD2 gone.rs:9\n");
+        let findings = vec![
+            finding(RuleId::D4Unwrap, "a.rs", 1),
+            finding(RuleId::D4Unwrap, "b.rs", 2),
+        ];
+        let (kept, baselined, stale) = apply(findings, &entries);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].file, "b.rs");
+        assert_eq!(baselined, 1);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn slug_rule_names_accepted() {
+        let (entries, bad) = parse("unwrap x.rs:3\n");
+        assert!(bad.is_empty());
+        assert_eq!(entries[0].rule, RuleId::D4Unwrap);
+    }
+}

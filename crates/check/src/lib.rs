@@ -1,0 +1,123 @@
+//! taco-check: the workspace invariant linter.
+//!
+//! TACO's evaluation depends on bit-identical trajectories for a fixed
+//! seed at any `TACO_THREADS`. The golden-trajectory fixtures catch
+//! drift *after* it happens; this crate enforces the source invariants
+//! that prevent it, statically:
+//!
+//! | rule | slug            | invariant                                            |
+//! |------|-----------------|------------------------------------------------------|
+//! | D1   | thread-spawn    | threading only via `tensor::pool`                    |
+//! | D2   | wall-clock      | no `Instant::now`/`SystemTime::now` outside trace/bench |
+//! | D3   | hash-iteration  | no `HashMap`/`HashSet` in core/sim/nn library code   |
+//! | D4   | unwrap          | no `.unwrap()`/`.expect()` in core/sim/nn/data library code |
+//! | D5   | safety-comment  | every `unsafe` carries a `// SAFETY:` justification  |
+//! | D6   | float-reduction | no ad-hoc `.sum()`/`.fold()` in core aggregation     |
+//!
+//! Escape hatches: an inline `// taco-check: allow(rule, reason)`
+//! pragma on the finding's line (or the line above), and a committed
+//! baseline file (`taco-check.baseline`) for legacy findings being
+//! burned down. Run as `cargo run -p taco-check` or via the workspace
+//! test; diagnostics print `file:line` and a JSON report is available
+//! with `--json`.
+//!
+//! The crate has zero dependencies and a hand-rolled lexer
+//! ([`lexer`]), so it builds instantly anywhere the workspace builds.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walker;
+
+use report::Report;
+use std::path::{Path, PathBuf};
+
+/// Configuration for one checker run.
+pub struct Config {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Baseline text (already read; empty string = empty baseline).
+    pub baseline: String,
+}
+
+/// Directory names never descended into. `fixtures` keeps seeded-
+/// violation test fixtures (and golden-trajectory JSON) out of the
+/// real scan; the fixture tests point the checker *at* a fixture tree
+/// instead.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "fixtures", "results", "node_modules"];
+
+/// Scans every `.rs` file under `config.root` and returns the report.
+pub fn run(config: &Config) -> Report {
+    let mut files = Vec::new();
+    collect_rs_files(&config.root, &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = rel_path(&config.root, path);
+        let ctx = walker::classify(&rel);
+        let idx = walker::FileIndex::build(&lexer::lex(&src));
+        findings.extend(rules::check_file(&ctx, &idx, &mut suppressed));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let (entries, malformed) = baseline::parse(&config.baseline);
+    let (kept, baselined, stale) = baseline::apply(findings, &entries);
+    Report {
+        root: config.root.display().to_string(),
+        findings: kept,
+        suppressed_by_pragma: suppressed,
+        suppressed_by_baseline: baselined,
+        stale_baseline: stale,
+        malformed_baseline: malformed,
+        files_scanned: files.len(),
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The workspace root when running under cargo (`cargo run -p
+/// taco-check`, or the workspace test): two levels up from this
+/// crate's manifest.
+pub fn workspace_root_from_manifest(manifest_dir: &str) -> PathBuf {
+    Path::new(manifest_dir)
+        .ancestors()
+        .nth(2)
+        .unwrap_or(Path::new("."))
+        .to_path_buf()
+}
+
+/// Reads the baseline file at the conventional location
+/// (`<root>/taco-check.baseline`); a missing file is an empty
+/// baseline.
+pub fn read_baseline(root: &Path) -> String {
+    std::fs::read_to_string(root.join("taco-check.baseline")).unwrap_or_default()
+}

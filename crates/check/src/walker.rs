@@ -1,0 +1,285 @@
+//! Lightweight item/scope walker over the token stream.
+//!
+//! Rules need three pieces of context the raw token stream doesn't
+//! carry: what *kind* of file this is (library, binary, test, bench,
+//! example — derived from its workspace-relative path), which lines
+//! fall inside *test regions* (`#[cfg(test)]` modules and `#[test]`
+//! functions, which most rules exempt), and a per-line index of code
+//! and comment tokens (used by the `SAFETY:` rule and by pragma
+//! resolution). This module computes all three.
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// What a file is, derived from its path relative to the workspace
+/// root. Determinism/panic rules apply to `Lib` (and sometimes `Bin`
+/// and `Example`) code; `Test` and `Bench` code is exempt from all but
+/// unsafe-hygiene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    Lib,
+    Bin,
+    Test,
+    Bench,
+    Example,
+}
+
+/// Per-file context handed to every rule.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Crate directory name (`core`, `sim`, …); the root package is
+    /// `taco`.
+    pub crate_name: String,
+    pub kind: FileKind,
+}
+
+/// Classifies a workspace-relative path (`/`-separated).
+pub fn classify(rel_path: &str) -> FileCtx {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (crate_name, rest): (String, &[&str]) =
+        if parts.first() == Some(&"crates") && parts.len() > 2 {
+            (parts[1].to_string(), &parts[2..])
+        } else {
+            ("taco".to_string(), &parts[..])
+        };
+    let kind = match rest.first().copied() {
+        Some("src") => {
+            if rest.get(1) == Some(&"bin") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            }
+        }
+        Some("tests") => FileKind::Test,
+        Some("benches") => FileKind::Bench,
+        Some("examples") => FileKind::Example,
+        _ => FileKind::Lib,
+    };
+    FileCtx {
+        rel_path: rel_path.to_string(),
+        crate_name,
+        kind,
+    }
+}
+
+/// Token-index view of one file: code tokens (comments stripped) plus
+/// per-line indexes for the comment-adjacency and pragma machinery.
+pub struct FileIndex {
+    /// Tokens with comments removed, in order. Rules pattern-match on
+    /// this.
+    pub code: Vec<Token>,
+    /// Comment texts per line (a line can hold several).
+    pub comments: BTreeMap<u32, Vec<String>>,
+    /// For each line with code: (first, last) token kinds on that
+    /// line. Used by the SAFETY walk to recognize attribute lines and
+    /// statement boundaries.
+    pub line_edges: BTreeMap<u32, (TokenKind, TokenKind)>,
+    /// Inclusive line ranges lying inside `#[cfg(test)]` modules or
+    /// `#[test]` functions.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Lines whose first two code tokens are `unsafe impl`. The SAFETY
+    /// walk treats these as transparent so one comment can cover a
+    /// stacked `unsafe impl Send`/`unsafe impl Sync` pair.
+    pub unsafe_impl_lines: std::collections::BTreeSet<u32>,
+}
+
+impl FileIndex {
+    pub fn build(tokens: &[Token]) -> FileIndex {
+        let mut code = Vec::new();
+        let mut comments: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for t in tokens {
+            if let Some(text) = t.kind.comment_text() {
+                comments.entry(t.line).or_default().push(text.to_string());
+            } else {
+                code.push(t.clone());
+            }
+        }
+        let mut line_edges: BTreeMap<u32, (TokenKind, TokenKind)> = BTreeMap::new();
+        let mut unsafe_impl_lines = std::collections::BTreeSet::new();
+        for (i, t) in code.iter().enumerate() {
+            if !line_edges.contains_key(&t.line) {
+                let second_is_impl = matches!(
+                    code.get(i + 1),
+                    Some(n) if n.line == t.line && n.kind == TokenKind::Ident("impl".into())
+                );
+                if t.kind == TokenKind::Ident("unsafe".into()) && second_is_impl {
+                    unsafe_impl_lines.insert(t.line);
+                }
+            }
+            line_edges
+                .entry(t.line)
+                .and_modify(|e| e.1 = t.kind.clone())
+                .or_insert_with(|| (t.kind.clone(), t.kind.clone()));
+        }
+        let test_regions = find_test_regions(&code);
+        FileIndex {
+            code,
+            comments,
+            line_edges,
+            test_regions,
+            unsafe_impl_lines,
+        }
+    }
+
+    /// True if `line` lies inside a `#[cfg(test)]` module or `#[test]`
+    /// function body.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Comment texts on `line`.
+    pub fn comments_on(&self, line: u32) -> &[String] {
+        self.comments.get(&line).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Scans the code token stream for `#[cfg(test)]`/`#[test]`-attributed
+/// items and returns the line spans of their brace-delimited bodies.
+///
+/// The walk is a single pass: on seeing `#` `[`, the attribute's
+/// bracket group is parsed; if it mentions `test` under `cfg(...)` (or
+/// is exactly `#[test]`), the next item body — the first `{` at
+/// bracket/paren depth zero before a depth-zero `;` — is brace-matched
+/// and its line span recorded. A `;` first means an item without a
+/// body (`#[cfg(test)] use …;`), which has no region.
+fn find_test_regions(code: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !is_punct(code, i, '#') || !is_punct(code, i + 1, '[') {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let attr_start = i + 2;
+        let mut depth = 1usize;
+        let mut j = attr_start;
+        while j < code.len() && depth > 0 {
+            match &code[j].kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr = &code[attr_start..j.saturating_sub(1)];
+        i = j;
+        if !attr_marks_test(attr) {
+            continue;
+        }
+        // Find the item's body: first `{` at delimiter depth 0 before
+        // a depth-0 `;`. Skip over any further attributes.
+        let mut paren = 0isize;
+        let mut k = i;
+        while k < code.len() {
+            match &code[k].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => paren += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => paren -= 1,
+                TokenKind::Punct(';') if paren == 0 => {
+                    k += 1;
+                    break; // bodyless item
+                }
+                TokenKind::Punct('{') if paren == 0 => {
+                    let open_line = code[k].line;
+                    let mut braces = 1usize;
+                    let mut m = k + 1;
+                    while m < code.len() && braces > 0 {
+                        match &code[m].kind {
+                            TokenKind::Punct('{') => braces += 1,
+                            TokenKind::Punct('}') => braces -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    let close_line = code.get(m.saturating_sub(1)).map(|t| t.line);
+                    regions.push((open_line, close_line.unwrap_or(u32::MAX)));
+                    k = m;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    regions
+}
+
+/// Does this attribute body mark test-only code? Matches `test` (the
+/// bare `#[test]` attribute) and any `cfg` list mentioning `test`
+/// (`cfg(test)`, `cfg(all(test, feature = "x"))`).
+fn attr_marks_test(attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    match idents.as_slice() {
+        ["test"] => true,
+        _ => idents.first() == Some(&"cfg") && idents.contains(&"test"),
+    }
+}
+
+fn is_punct(code: &[Token], i: usize, c: char) -> bool {
+    matches!(code.get(i), Some(t) if t.kind == TokenKind::Punct(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn classifies_workspace_paths() {
+        let c = classify("crates/core/src/taco.rs");
+        assert_eq!(c.crate_name, "core");
+        assert_eq!(c.kind, FileKind::Lib);
+        assert_eq!(classify("crates/bench/src/bin/fig2.rs").kind, FileKind::Bin);
+        assert_eq!(classify("crates/nn/tests/grad.rs").kind, FileKind::Test);
+        assert_eq!(classify("tests/end_to_end.rs").crate_name, "taco");
+        assert_eq!(classify("tests/end_to_end.rs").kind, FileKind::Test);
+        assert_eq!(classify("examples/quickstart.rs").kind, FileKind::Example);
+        assert_eq!(classify("src/lib.rs").kind, FileKind::Lib);
+    }
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let idx = FileIndex::build(&lex(src));
+        assert!(!idx.in_test_region(1));
+        assert!(idx.in_test_region(3));
+        assert!(idx.in_test_region(4));
+        assert!(idx.in_test_region(5));
+        assert!(!idx.in_test_region(6));
+    }
+
+    #[test]
+    fn test_fn_region_and_bodyless_attr() {
+        let src = "#[cfg(test)]\nuse foo::bar;\n#[test]\nfn t() {\n    body();\n}\nfn lib() {}\n";
+        let idx = FileIndex::build(&lex(src));
+        // The `use` has no body: line 2 is not a region.
+        assert!(!idx.in_test_region(2));
+        assert!(idx.in_test_region(5));
+        assert!(!idx.in_test_region(7));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod m {\n    fn f() {}\n}\n";
+        let idx = FileIndex::build(&lex(src));
+        assert!(idx.in_test_region(3));
+    }
+
+    #[test]
+    fn cfg_not_test_irrelevant_attrs_ignored() {
+        let src = "#[derive(Debug)]\nstruct S {\n    x: u32,\n}\n";
+        let idx = FileIndex::build(&lex(src));
+        assert!(!idx.in_test_region(3));
+    }
+}

@@ -1,0 +1,132 @@
+//! Runs the checker over the seeded-violation fixture tree
+//! (`tests/fixtures/ws`), which mimics the workspace layout and
+//! violates every rule D1–D6. Also exercises baseline semantics and
+//! the CLI's exit codes end to end.
+
+use std::path::PathBuf;
+use taco_check::rules::{RuleId, ALL_RULES};
+use taco_check::{run, Config};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ws")
+}
+
+#[test]
+fn every_rule_fires_on_the_seeded_fixture() {
+    let report = run(&Config {
+        root: fixture_root(),
+        baseline: String::new(),
+    });
+    assert!(report.failed());
+    for rule in ALL_RULES {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "rule {} did not fire on the fixture; findings:\n{}",
+            rule.id(),
+            report.render_text()
+        );
+    }
+    // The pragma'd unwrap was suppressed, the documented unsafe clean.
+    assert!(report.suppressed_by_pragma >= 1);
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == RuleId::D5SafetyComment
+                && f.file.contains("bad_unsafe")
+                && f.line > 7),
+        "the SAFETY-commented unsafe block must not be flagged"
+    );
+    // String/raw-string contents are inert: nothing may fire on the
+    // quoted_is_inert body.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.file.contains("bad_time") && f.line >= 16),
+        "rules fired inside string literals:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn baseline_suppresses_exactly_and_reports_stale() {
+    let clean = run(&Config {
+        root: fixture_root(),
+        baseline: String::new(),
+    });
+    // Baseline every current finding: the run becomes green.
+    let baseline: String = clean
+        .findings
+        .iter()
+        .map(|f| format!("{} {}:{}\n", f.rule.id(), f.file, f.line))
+        .collect();
+    let report = run(&Config {
+        root: fixture_root(),
+        baseline,
+    });
+    assert!(
+        !report.failed(),
+        "fully-baselined run must be green:\n{}",
+        report.render_text()
+    );
+    assert_eq!(report.suppressed_by_baseline, clean.findings.len());
+    assert!(report.stale_baseline.is_empty());
+
+    // A baseline naming a fixed finding goes stale, visibly.
+    let report = run(&Config {
+        root: fixture_root(),
+        baseline: "D4 crates/core/src/no_longer_exists.rs:1\n".to_string(),
+    });
+    assert_eq!(report.stale_baseline.len(), 1);
+    assert!(report.failed(), "stale entries must not hide live findings");
+
+    // Unparseable lines are surfaced, not silently ignored.
+    let report = run(&Config {
+        root: fixture_root(),
+        baseline: "this is not an entry\n".to_string(),
+    });
+    assert_eq!(report.malformed_baseline.len(), 1);
+}
+
+#[test]
+fn cli_exit_codes_match_findings() {
+    // Green on the real workspace with the committed baseline…
+    let root = taco_check::workspace_root_from_manifest(env!("CARGO_MANIFEST_DIR"));
+    let ok = std::process::Command::new(env!("CARGO_BIN_EXE_taco-check"))
+        .args(["--root".as_ref(), root.as_os_str()])
+        .args([
+            "--baseline".as_ref(),
+            root.join("taco-check.baseline").as_os_str(),
+        ])
+        .arg("--quiet")
+        .output()
+        .expect("spawn taco-check");
+    assert!(
+        ok.status.success(),
+        "workspace run failed:\n{}{}",
+        String::from_utf8_lossy(&ok.stdout),
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // …and red on the seeded fixture, with a JSON report on request.
+    let json_path = std::env::temp_dir().join("taco-check-fixture-report.json");
+    let bad = std::process::Command::new(env!("CARGO_BIN_EXE_taco-check"))
+        .args(["--root".as_ref(), fixture_root().as_os_str()])
+        .args(["--json".as_ref(), json_path.as_os_str()])
+        .output()
+        .expect("spawn taco-check");
+    assert!(!bad.status.success(), "fixture run must exit non-zero");
+    let json = std::fs::read_to_string(&json_path).expect("JSON report written");
+    for rule in ALL_RULES {
+        assert!(
+            json.contains(&format!("\"rule\": \"{}\"", rule.id())),
+            "JSON report missing rule {}: {json}",
+            rule.id()
+        );
+    }
+    let _ = std::fs::remove_file(&json_path);
+}

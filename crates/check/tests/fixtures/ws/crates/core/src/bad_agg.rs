@@ -1,0 +1,33 @@
+// Seeded-violation fixture: D3, D4, D6 in core library code.
+use std::collections::HashMap;
+
+pub fn nondeterministic_weights(w: &HashMap<usize, f32>) -> f32 {
+    // D6: ad-hoc float reduction in an aggregation path.
+    w.values().sum()
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    // D6: bare fold accumulation.
+    xs.iter().fold(0.0, |a, b| a + b)
+}
+
+pub fn first_alpha(alphas: &[f32]) -> f32 {
+    // D4: unwrap in library code.
+    alphas.first().copied().unwrap()
+}
+
+pub fn suppressed_alpha(alphas: &[f32]) -> f32 {
+    // taco-check: allow(unwrap, fixture demonstrating pragma suppression)
+    alphas.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from D4/D6: none of these may fire.
+    #[test]
+    fn exempt() {
+        let v: Vec<f32> = vec![1.0];
+        let _ = v.first().copied().unwrap();
+        let _: f32 = v.iter().sum();
+    }
+}

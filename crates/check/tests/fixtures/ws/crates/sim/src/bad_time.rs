@@ -1,0 +1,19 @@
+// Seeded-violation fixture: D1 and D2 in sim library code.
+use std::time::Instant;
+
+pub fn wall_clock_cost() -> f64 {
+    // D2: wall-clock read outside trace/bench.
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn rogue_parallelism() {
+    // D1: thread creation outside tensor::pool.
+    let h = std::thread::spawn(|| {});
+    let _ = h.join();
+}
+
+pub fn quoted_is_inert() -> &'static str {
+    // Neither rule may fire on string contents.
+    r#"Instant::now() and thread::spawn() inside a raw string"#
+}

@@ -1,0 +1,11 @@
+// Seeded-violation fixture: D5 unsafe-hygiene.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    // D5: no justification comment anywhere nearby.
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller passes a valid, aligned pointer.
+    unsafe { *p }
+}

@@ -1,0 +1,142 @@
+//! Adversarial token streams for the hand-rolled lexer, plus
+//! rule-level assertions that lexing mistakes would turn into false
+//! positives or false negatives.
+
+use taco_check::lexer::{lex, TokenKind};
+use taco_check::rules::{check_file, RuleId};
+use taco_check::walker::{classify, FileIndex};
+
+fn findings(path: &str, src: &str) -> Vec<RuleId> {
+    let ctx = classify(path);
+    let idx = FileIndex::build(&lex(src));
+    let mut suppressed = 0;
+    check_file(&ctx, &idx, &mut suppressed)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hashes_swallow_quotes_and_hashes() {
+    let src =
+        r####"let a = r#"has "quotes" and a # sign"#; let b = r###"ends with "## not yet"###;"####;
+    let toks = lex(src);
+    let raw_count = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::RawStrLit)
+        .count();
+    assert_eq!(raw_count, 2, "tokens: {toks:?}");
+    // Nothing inside the raw strings leaks as an identifier.
+    let idents: Vec<_> = toks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(idents, vec!["let", "a", "let", "b"]);
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    let src = "/* l1 /* l2 /* l3 */ l2 */ l1 */ fn after() {}";
+    let toks = lex(src);
+    assert!(matches!(toks[0].kind, TokenKind::BlockComment(_)));
+    assert_eq!(toks[1].kind, TokenKind::Ident("fn".into()));
+    // An unterminated nested comment consumes to EOF without panic.
+    let toks = lex("/* open /* deeper */ still open");
+    assert_eq!(toks.len(), 1);
+}
+
+#[test]
+fn lifetime_char_ambiguity_under_pressure() {
+    // <'a, 'b> then a char 'a' then a lifetime bound then b'x'.
+    let src =
+        "fn f<'a, 'b>(x: &'a str) { let c = 'a'; let d: &'static str = \"s\"; let e = b'x'; }";
+    let toks = lex(src);
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::Lifetime(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lifetimes, vec!["a", "b", "a", "static"]);
+    let chars = toks.iter().filter(|t| t.kind == TokenKind::CharLit).count();
+    assert_eq!(chars, 2); // 'a' and b'x'
+}
+
+#[test]
+fn escaped_quote_char_does_not_derail_lexing() {
+    // '\'' then code that must still be visible to rules.
+    let src = "fn f() { let q = '\\''; foo.unwrap(); }";
+    let toks = lex(src);
+    assert!(toks.iter().any(|t| t.kind == TokenKind::CharLit));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident("unwrap".into())));
+}
+
+#[test]
+fn pragmas_inside_strings_do_not_suppress() {
+    let src = concat!(
+        "pub fn f(x: Option<u8>) -> u8 {\n",
+        "    let _decoy = \"taco-check: allow(unwrap, not a real pragma)\";\n",
+        "    let _raw = r#\"taco-check: allow(D4, also fake)\"#;\n",
+        "    x.unwrap()\n",
+        "}\n",
+    );
+    assert_eq!(
+        findings("crates/core/src/x.rs", src),
+        vec![RuleId::D4Unwrap]
+    );
+}
+
+#[test]
+fn violations_inside_strings_and_comments_do_not_fire() {
+    let src = concat!(
+        "pub fn f() {\n",
+        "    // thread::spawn and Instant::now in a comment\n",
+        "    let _s = \"thread::spawn(Instant::now())\";\n",
+        "    let _r = r##\"HashMap::new().iter().sum()\"##;\n",
+        "    /* unsafe { } in /* nested */ comment */\n",
+        "}\n",
+    );
+    assert!(findings("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn multiline_call_chains_still_match() {
+    // The `.unwrap()` spans lines; token-sequence matching must span
+    // the layout.
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    x\n        .unwrap\n        ()\n}\n";
+    assert_eq!(
+        findings("crates/core/src/x.rs", src),
+        vec![RuleId::D4Unwrap]
+    );
+}
+
+#[test]
+fn raw_identifier_is_not_a_raw_string() {
+    let src = "fn f() { let r#unsafe = 1; let _ = r#unsafe; }";
+    let toks = lex(src);
+    // r#unsafe unescapes to the ident `unsafe` — which must then be
+    // treated as the keyword by D5 (a false positive we accept as
+    // impossible in practice: no one names a binding r#unsafe in this
+    // codebase) — the important part is the lexer doesn't treat
+    // `r#unsafe` as an unterminated raw string and swallow the file.
+    assert!(
+        toks.iter()
+            .filter(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "unsafe"))
+            .count()
+            >= 2
+    );
+    assert_eq!(toks.last().unwrap().kind, TokenKind::Punct('}'));
+}
+
+#[test]
+fn shebang_and_weird_bytes_do_not_panic() {
+    let src = "#!/usr/bin/env rust\nfn f() { let 🦀 = (); }\n";
+    let toks = lex(src);
+    assert!(!toks.is_empty());
+}

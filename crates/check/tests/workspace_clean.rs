@@ -1,0 +1,37 @@
+//! The linter's own workspace gate: scanning the real workspace with
+//! the committed baseline must produce zero findings. This is the
+//! "run as a workspace test" half of taco-check — CI additionally runs
+//! the binary, but `cargo test` alone already enforces the invariants.
+
+use taco_check::{run, workspace_root_from_manifest, Config};
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = workspace_root_from_manifest(env!("CARGO_MANIFEST_DIR"));
+    let baseline = taco_check::read_baseline(&root);
+    let report = run(&Config { root, baseline });
+    assert!(
+        !report.failed(),
+        "taco-check found violations:\n{}",
+        report.render_text()
+    );
+    // The scan must actually have covered the workspace — a silent
+    // walk failure would vacuously pass.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    // The committed baseline must stay healthy: no stale or
+    // unparseable entries.
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries: {:?}",
+        report.stale_baseline
+    );
+    assert!(
+        report.malformed_baseline.is_empty(),
+        "unparseable baseline lines: {:?}",
+        report.malformed_baseline
+    );
+}

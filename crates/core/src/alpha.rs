@@ -47,7 +47,7 @@ pub fn correction_coefficients_variant(deltas: &[&[f32]], variant: AlphaVariant)
     }
     let mean = ops::mean_of(deltas);
     let norms: Vec<f32> = deltas.iter().map(|d| ops::norm(d)).collect();
-    let norm_sum: f32 = norms.iter().sum();
+    let norm_sum = ops::sum(&norms);
     let n = deltas.len() as f32;
     deltas
         .iter()
@@ -91,7 +91,7 @@ pub fn average_alpha(alphas: &[f32]) -> f32 {
     if alphas.is_empty() {
         0.0
     } else {
-        alphas.iter().sum::<f32>() / alphas.len() as f32
+        ops::sum(alphas) / alphas.len() as f32
     }
 }
 

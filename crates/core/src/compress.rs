@@ -15,6 +15,8 @@
 //! communication model and reconstructs the (lossy) vector the server
 //! actually receives.
 
+use taco_tensor::ops;
+
 /// A lossy vector codec with a known wire size.
 pub trait Compressor: Send + Sync {
     /// Human-readable name for reports.
@@ -66,13 +68,9 @@ impl Compressor for TopK {
         }
         let k = self.k_for(input.len());
         let mut idx: Vec<usize> = (0..input.len()).collect();
-        idx.sort_by(|&a, &b| {
-            input[b]
-                .abs()
-                .partial_cmp(&input[a].abs())
-                .expect("finite values")
-                .then(a.cmp(&b))
-        });
+        // total_cmp agrees with partial_cmp on finite values and gives
+        // NaN a fixed order instead of panicking mid-sort.
+        idx.sort_by(|&a, &b| input[b].abs().total_cmp(&input[a].abs()).then(a.cmp(&b)));
         let mut out = vec![0.0f32; input.len()];
         for &i in &idx[..k] {
             out[i] = input[i];
@@ -100,8 +98,7 @@ impl Compressor for Uniform8Bit {
         if input.is_empty() {
             return Vec::new();
         }
-        let min = input.iter().copied().fold(f32::INFINITY, f32::min);
-        let max = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let (min, max) = ops::min_max(input);
         let range = max - min;
         if range <= 0.0 || !range.is_finite() {
             return input.to_vec();

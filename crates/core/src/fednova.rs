@@ -58,17 +58,15 @@ impl FederatedAlgorithm for FedNova {
         let weights: Vec<f64> = match self.weighting {
             AggWeighting::Uniform => vec![1.0 / updates.len() as f64; updates.len()],
             AggWeighting::DataSize => {
-                let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
-                updates
-                    .iter()
-                    .map(|u| u.num_samples as f64 / total)
-                    .collect()
+                let sizes: Vec<f64> = updates.iter().map(|u| u.num_samples as f64).collect();
+                let total = ops::sum_f64(&sizes);
+                sizes.iter().map(|s| s / total).collect()
             }
         };
         // τ_eff = Σ p_i τ_i; freeloaders report τ = 0 and are treated
         // as single-step contributors so division stays defined.
         let taus: Vec<f64> = updates.iter().map(|u| u.steps.max(1) as f64).collect();
-        let tau_eff: f64 = weights.iter().zip(&taus).map(|(p, t)| p * t).sum();
+        let tau_eff = ops::dot_f64(&weights, &taus);
         let dim = global.len();
         let mut normalized = vec![0.0f64; dim];
         for ((u, &p), &tau) in updates.iter().zip(&weights).zip(&taus) {

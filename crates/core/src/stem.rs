@@ -92,6 +92,7 @@ impl FederatedAlgorithm for Stem {
             let v = u
                 .final_v
                 .as_ref()
+                // taco-check: allow(unwrap, uploads_momentum() makes the runner record final_v for every STEM client; absence is a harness bug worth a loud panic)
                 .expect("STEM update missing final momentum");
             for j in 0..dim {
                 acc[j] += (u.delta[j] + v[j]) as f64;

@@ -244,7 +244,7 @@ impl FederatedAlgorithm for Taco {
             // Clamp for the SignedCosine ablation, whose alphas may be
             // negative; Eq. 9's weights must stay non-negative.
             let clamped: Vec<f32> = new_alphas.iter().map(|a| a.max(0.0)).collect();
-            let sum: f32 = clamped.iter().sum();
+            let sum = ops::sum(&clamped);
             if sum > 1e-9 {
                 clamped
             } else {

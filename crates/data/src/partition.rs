@@ -58,18 +58,25 @@ fn fix_empty_shards(shards: &mut [Vec<usize>]) {
         let Some(empty) = shards.iter().position(|s| s.is_empty()) else {
             return;
         };
-        let largest = shards
+        // `empty` was found above, so `shards` is non-empty and
+        // max_by_key must yield a winner; the let-else keeps this
+        // panic-free either way.
+        let Some(largest) = shards
             .iter()
             .enumerate()
             .max_by_key(|(_, s)| s.len())
             .map(|(i, _)| i)
-            .expect("at least one shard");
+        else {
+            return;
+        };
         if shards[largest].len() <= 1 {
             // Not enough samples to cover all clients; leave remaining
             // shards empty rather than loop forever.
             return;
         }
-        let moved = shards[largest].pop().expect("non-empty largest shard");
+        let Some(moved) = shards[largest].pop() else {
+            return;
+        };
         shards[empty].push(moved);
     }
 }

@@ -77,6 +77,7 @@ impl Dense {
         let x = self
             .cached_input
             .as_ref()
+            // taco-check: allow(unwrap, documented `# Panics` contract — backward before forward is a caller bug the message names)
             .expect("Dense::backward called before forward");
         // dW = gᵀ · x, dB = column sums of g, dX = g · W.
         let dw = linalg::matmul_tn(grad_out, x);

@@ -444,7 +444,10 @@ impl Simulation {
             let mut model = prototype.clone_model();
             model.set_params(global);
             let mut rng = client_rng(seed, round, job.client);
-            let start = std::time::Instant::now();
+            // Wall-clock time is read only through taco-trace spans
+            // (D2): the span both feeds the `client_compute.seconds`
+            // histogram and hands back the measured duration.
+            let compute_span = trace::Span::quiet("client_compute");
             let outcome = update::run_local_steps(
                 &mut *model,
                 fed.client(job.client),
@@ -454,7 +457,7 @@ impl Simulation {
                 hyper.batch_size,
                 &mut rng,
             );
-            let elapsed = start.elapsed().as_secs_f64();
+            let elapsed = compute_span.finish();
             let mut u = ClientUpdate::from_outcome(job.client, job.num_samples, outcome);
             u.compute_seconds = elapsed;
             drop(span);
@@ -470,6 +473,7 @@ impl Simulation {
         });
         results
             .into_iter()
+            // taco-check: allow(unwrap, pool::for_each_chunk visits every chunk exactly once, so every slot was filled)
             .map(|r| r.expect("client job not executed"))
             .collect()
     }

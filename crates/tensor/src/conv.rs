@@ -304,9 +304,10 @@ pub fn maxpool2d_forward(
         let argp = SendPtr(arg.as_mut_ptr());
         pool::for_each_index(channels, |c| {
             // SAFETY: each channel index is claimed exactly once and
-            // maps to disjoint `plane`-long regions of `out` and `arg`,
-            // which outlive the dispatch.
+            // maps to a disjoint `plane`-long region of `out`, which
+            // outlives the dispatch.
             let out_c = unsafe { std::slice::from_raw_parts_mut(outp.get().add(c * plane), plane) };
+            // SAFETY: same disjointness argument for `arg`.
             let arg_c = unsafe { std::slice::from_raw_parts_mut(argp.get().add(c * plane), plane) };
             per_channel(c, out_c, arg_c);
         });

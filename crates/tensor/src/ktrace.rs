@@ -51,6 +51,7 @@ impl Kernel {
         KernelTimer {
             kernel: self,
             elems,
+            // taco-check: allow(wall-clock, metrics-only kernel timing: readings feed trace histograms and never simulated time)
             start: Instant::now(),
         }
     }

@@ -284,6 +284,11 @@ fn gebp_dispatch<PA: Fn(&mut [f32], usize, usize, usize, usize)>(
     });
 }
 
+/// # Safety
+///
+/// The CPU must support AVX (`target_feature` makes calling this UB
+/// otherwise); the dispatch site verifies with `cpu_has_avx` at
+/// runtime. The body's own pointer arithmetic is justified inline.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 #[allow(clippy::too_many_arguments)]
@@ -376,6 +381,8 @@ fn gebp_body<PA: Fn(&mut [f32], usize, usize, usize, usize)>(
 #[inline(always)]
 unsafe fn micro(kc: usize, ap: *const f32, bp: *const f32, c: *mut f32, ldc: usize) {
     let mut acc = [[0.0f32; NR]; MR];
+    // SAFETY: every access below stays within the pack/tile bounds the
+    // function contract (`# Safety` above) requires of the caller.
     unsafe {
         for (r, row) in acc.iter_mut().enumerate() {
             let crow = c.add(r * ldc);
@@ -448,6 +455,11 @@ fn nt_dispatch(a: &[f32], b: &[f32], c: &mut [f32], rows: usize, k: usize, n: us
     });
 }
 
+/// # Safety
+///
+/// The CPU must support AVX (`target_feature` makes calling this UB
+/// otherwise); the dispatch site verifies with `cpu_has_avx` at
+/// runtime. The body is the safe `nt_body` compiled with AVX codegen.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn nt_avx(

@@ -171,6 +171,8 @@ impl Pool {
                 let raw = RawCtx(raw.0);
                 st.jobs.push_back(Queued {
                     batch,
+                    // SAFETY: per the lifetime-erasure argument above,
+                    // `ctx` outlives every job queued for this batch.
                     job: Box::new(move || unsafe { helper_entry::<F>(raw) }),
                 });
             }
@@ -263,7 +265,15 @@ impl<F: Fn(usize) + Sync> DispatchCtx<'_, F> {
 #[derive(Clone, Copy)]
 struct RawCtx(usize);
 
+/// # Safety
+///
+/// `raw` must point at a live `DispatchCtx<F>` with the same `F` —
+/// guaranteed by [`Pool::for_each_index`], which queues helpers only
+/// for its own batch and does not return until each has been cancelled
+/// or has signalled completion.
 unsafe fn helper_entry<F: Fn(usize) + Sync>(raw: RawCtx) {
+    // SAFETY: per the function contract, `raw` points at a live
+    // `DispatchCtx<F>` for the whole call.
     let ctx = unsafe { &*(raw.0 as *const DispatchCtx<'_, F>) };
     ctx.claim_loop();
     let mut done = lock(&ctx.completed_helpers);
