@@ -23,7 +23,7 @@ use taco_core::{
 };
 use taco_data::{partition, tabular, text, vision, FederatedDataset};
 use taco_nn::{CharLstm, Mlp, Model, PaperCnn, TinyResNet};
-use taco_sim::{ClientBehavior, History, SimConfig, Simulation};
+use taco_sim::{ClientBehavior, FaultPlan, History, SimConfig, Simulation};
 use taco_tensor::Prng;
 use taco_trace::Value;
 
@@ -321,6 +321,25 @@ pub fn run(
     history
 }
 
+/// Runs one algorithm on a workload under a deterministic
+/// [`FaultPlan`] (the fault-sweep scenario). The run is recorded into
+/// the manifest like [`run`], with its injected-fault and rejection
+/// totals alongside the accuracy columns.
+pub fn run_faulted(
+    w: &Workload,
+    algorithm: Box<dyn FederatedAlgorithm>,
+    seed: u64,
+    plan: FaultPlan,
+) -> History {
+    let algorithm_name = algorithm.name();
+    let config = SimConfig::new(w.hyper, w.rounds, seed).with_fault_plan(plan);
+    let started = Instant::now();
+    let history = Simulation::new(w.fed.clone(), w.model.clone_model(), algorithm, config).run();
+    let wall_secs = started.elapsed().as_secs_f64();
+    record_run(w, algorithm_name, seed, false, wall_secs, &history);
+    history
+}
+
 // --- Run manifests -------------------------------------------------
 
 struct ManifestState {
@@ -371,6 +390,14 @@ fn record_run(
         (
             "expelled".to_string(),
             Value::from(history.expelled_clients.len()),
+        ),
+        (
+            "faults_injected".to_string(),
+            Value::from(history.total_faults_injected()),
+        ),
+        (
+            "updates_rejected".to_string(),
+            Value::from(history.total_updates_rejected()),
         ),
         ("wall_secs".to_string(), Value::from(wall_secs)),
     ]);
@@ -614,11 +641,14 @@ mod tests {
                     test_accuracy: a,
                     test_loss: 0.0,
                     train_loss: 0.0,
+                    train_loss_carried: false,
                     max_client_seconds: 0.0,
                     total_client_seconds: 0.0,
                     alphas: None,
                     expelled: 0,
                     upload_bytes: 0,
+                    faults_injected: 0,
+                    updates_rejected: 0,
                 })
                 .collect(),
             expelled_clients: vec![],

@@ -71,6 +71,12 @@ pub trait FederatedAlgorithm: Send {
         Vec::new()
     }
 
+    /// Server-side evidence that `client` uploaded an invalid update
+    /// (non-finite or norm-exploded delta) which was quarantined
+    /// before aggregation. Detection-capable algorithms treat this
+    /// like a freeloader strike; the default is a no-op.
+    fn report_invalid_update(&mut self, _client: usize) {}
+
     /// The current per-client correction coefficients `α_i^t`, if the
     /// algorithm computes them (TACO and the tailored hybrids).
     fn alphas(&self) -> Option<&[f32]> {

@@ -104,8 +104,20 @@ impl FederatedAlgorithm for Scaffold {
         for u in updates {
             let old = self.c_clients[u.client].clone();
             let mut new = old.clone();
+            // Each client's variate is normalized by its *own*
+            // effective step count τ_i·η_l: under heterogeneous
+            // `local_steps_per_client` the global K would mis-scale
+            // every variate. Updates carrying no step count (e.g.
+            // freeloader echoes) fall back to the configured K, which
+            // also keeps homogeneous runs bit-identical.
+            let tau = if u.steps > 0 {
+                u.steps
+            } else {
+                hyper.local_steps
+            };
+            let tau_eta_l = tau as f32 * hyper.eta_l;
             for j in 0..new.len() {
-                new[j] = old[j] - self.c_global[j] + u.delta[j] / hyper.k_eta_l();
+                new[j] = old[j] - self.c_global[j] + u.delta[j] / tau_eta_l;
             }
             for j in 0..new.len() {
                 mean_shift[j] += (new[j] - old[j]) / n;
@@ -182,6 +194,54 @@ mod tests {
             LocalRule::Correction { term } => assert!(term[0].abs() < 1e-6),
             other => panic!("unexpected rule {other:?}"),
         }
+    }
+
+    #[test]
+    fn heterogeneous_steps_normalize_each_variate_by_its_own_tau() {
+        // Four clients with τ_i = 2, 4, 8, 16 (the runner's
+        // `with_local_steps(vec![2, 4, 8, 16])` heterogeneity) but a
+        // global K = 10: each variate must divide by τ_i·η_l, not
+        // K·η_l.
+        let taus = [2usize, 4, 8, 16];
+        let eta_l = 0.5f32;
+        let mut alg = Scaffold::new(4, 1.0);
+        let hyper = HyperParams::new(4, 10, eta_l, 1);
+        alg.begin_round(0, &[0.0]);
+        let updates: Vec<ClientUpdate> = taus
+            .iter()
+            .enumerate()
+            .map(|(i, &tau)| {
+                let mut u = upd(i, vec![1.0]);
+                u.steps = tau;
+                u
+            })
+            .collect();
+        let _ = alg.aggregate(&[0.0], &updates, &hyper);
+        // Hand-computed: starting from c_i = c = 0, the update rule is
+        // c_i' = Δ_i / (τ_i·η_l) = 1 / (τ_i · 0.5) = 2/τ_i.
+        for (i, &tau) in taus.iter().enumerate() {
+            let expect = 2.0 / tau as f32;
+            let got = alg.client_variate(i)[0];
+            assert!(
+                (got - expect).abs() < 1e-6,
+                "client {i}: variate {got} vs hand-computed {expect}"
+            );
+        }
+        // The server variate is the mean of the shifts:
+        // c = (1 + 0.5 + 0.25 + 0.125) / 4 = 0.46875, so client 0's
+        // next correction term is c − c_0 = 0.46875 − 1 = −0.53125.
+        match alg.local_rule(0, &[0.0]) {
+            LocalRule::Correction { term } => {
+                assert!((term[0] + 0.53125).abs() < 1e-6, "term {}", term[0]);
+            }
+            other => panic!("unexpected rule {other:?}"),
+        }
+        let mut alg2 = Scaffold::new(1, 1.0);
+        alg2.begin_round(0, &[0.0]);
+        let mut u = upd(0, vec![1.0]);
+        u.steps = 0; // no step count recorded: falls back to K = 10
+        let _ = alg2.aggregate(&[0.0], &[u], &hyper);
+        assert!((alg2.client_variate(0)[0] - 1.0 / (10.0 * eta_l)).abs() < 1e-6);
     }
 
     #[test]

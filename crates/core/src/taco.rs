@@ -288,6 +288,18 @@ impl FederatedAlgorithm for Taco {
             .collect()
     }
 
+    fn report_invalid_update(&mut self, client: usize) {
+        // A quarantined upload is at least as suspicious as an echoed
+        // one: it counts as an Eq. 10 strike toward expulsion.
+        if !self.config.detect_freeloaders || client >= self.strikes.len() {
+            return;
+        }
+        self.strikes[client] += 1;
+        if self.strikes[client] > self.config.lambda {
+            self.expelled[client] = true;
+        }
+    }
+
     fn alphas(&self) -> Option<&[f32]> {
         Some(&self.alphas)
     }
@@ -477,5 +489,30 @@ mod tests {
     #[should_panic(expected = "gamma must be in")]
     fn bad_gamma_panics() {
         let _ = Taco::new(1, cfg().with_gamma(1.5));
+    }
+
+    #[test]
+    fn invalid_update_reports_accumulate_to_expulsion() {
+        let mut alg = Taco::new(3, cfg().with_detection(0.6, 2));
+        for _ in 0..2 {
+            alg.report_invalid_update(1);
+            assert!(alg.expelled().is_empty());
+        }
+        // Third strike passes λ = 2.
+        alg.report_invalid_update(1);
+        assert_eq!(alg.expelled(), vec![1]);
+        // Out-of-range and detection-off reports are ignored.
+        alg.report_invalid_update(99);
+        let mut off = Taco::new(
+            2,
+            TacoConfig {
+                detect_freeloaders: false,
+                ..cfg().with_detection(0.6, 0)
+            },
+        );
+        for _ in 0..5 {
+            off.report_invalid_update(0);
+        }
+        assert!(off.expelled().is_empty());
     }
 }

@@ -52,6 +52,39 @@ impl CostModel {
                 + self.seconds_per_vector_op)
     }
 
+    /// Derives a synchronous-round [`Deadline`](crate::fault::Deadline)
+    /// for the fault-injection subsystem from this calibrated model:
+    /// one simulated second per step is the profile's per-step cost,
+    /// and the round budget is `slack ×` the nominal time of
+    /// `local_steps` steps — so an unimpaired client always makes the
+    /// deadline and a straggler slower than `slack`× never does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack < 1`, the per-step cost is zero, or
+    /// `local_steps` is zero.
+    pub fn deadline(
+        &self,
+        profile: &CostProfile,
+        local_steps: usize,
+        slack: f64,
+    ) -> crate::fault::Deadline {
+        assert!(
+            slack.is_finite() && slack >= 1.0,
+            "deadline slack must be >= 1, got {slack}"
+        );
+        assert!(local_steps > 0, "need at least one local step");
+        let seconds_per_step = self.round_seconds(profile, 1);
+        assert!(
+            seconds_per_step > 0.0,
+            "cost model predicts zero per-step time; a deadline would cut everyone"
+        );
+        crate::fault::Deadline {
+            seconds: slack * self.round_seconds(profile, local_steps),
+            seconds_per_step,
+        }
+    }
+
     /// Predicted overhead of `profile` relative to a plain-SGD profile,
     /// as a fraction (`0.23` = +23%). This is the quantity Table I
     /// reports under each measured time.
@@ -130,6 +163,32 @@ mod tests {
         let m = CostModel::new(0.5, 0.0);
         assert_eq!(m.round_seconds(&SGD, 10), 5.0);
         assert_eq!(m.round_seconds(&STEM, 10), 10.0);
+    }
+
+    #[test]
+    fn deadline_admits_nominal_and_cuts_slow_stragglers() {
+        let m = CostModel::new(0.5, 0.0);
+        let d = m.deadline(&SGD, 10, 1.5);
+        assert_eq!(d.seconds_per_step, 0.5);
+        assert_eq!(d.seconds, 7.5);
+        // Unimpaired client: 10 steps at nominal speed makes it.
+        assert!(!d.misses(10, 1.0));
+        // A straggler slower than the slack factor is cut…
+        assert!(d.misses(10, 2.0));
+        // …while one just inside the slack budget survives.
+        assert!(!d.misses(10, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "slack must be >= 1")]
+    fn deadline_rejects_sub_unit_slack() {
+        let _ = CostModel::new(0.5, 0.0).deadline(&SGD, 10, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero per-step time")]
+    fn deadline_rejects_zero_cost_model() {
+        let _ = CostModel::new(0.0, 0.0).deadline(&SGD, 10, 2.0);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! - [`metrics`] — per-round records and the paper's two efficiency
 //!   metrics: round-to-accuracy and time-to-accuracy (cumulative
 //!   slowest-client compute time, Figs. 2 and 4).
+//! - [`fault`] — deterministic, seeded fault injection (dropouts,
+//!   stragglers with a synchronous server deadline, wire corruption)
+//!   plus server-side update validation/quarantine.
 //! - [`detection`] — TPR/FPR scoring of freeloader detection
 //!   (Table VIII).
 //! - [`cost`] — the analytic per-round compute model used to
@@ -47,10 +50,12 @@
 pub mod comm;
 pub mod cost;
 pub mod detection;
+pub mod fault;
 pub mod freeloader;
 pub mod metrics;
 pub mod runner;
 
+pub use fault::{Corruption, Deadline, FaultKind, FaultPlan, RejectReason, ValidationPolicy};
 pub use freeloader::ClientBehavior;
 pub use metrics::{History, RoundRecord};
 pub use runner::{Participation, SimConfig, Simulation};

@@ -10,8 +10,14 @@ pub struct RoundRecord {
     pub test_accuracy: f64,
     /// Global-model test loss after the round.
     pub test_loss: f64,
-    /// Mean local training loss across honest clients.
+    /// Mean local training loss across honest clients. When a round
+    /// has no honest participants (freeloader-only draw, or every
+    /// update dropped/rejected), the previous round's value is carried
+    /// forward and [`RoundRecord::train_loss_carried`] is set.
     pub train_loss: f64,
+    /// `true` when `train_loss` was carried forward from the previous
+    /// round instead of being measured this round.
+    pub train_loss_carried: bool,
     /// The slowest client's local compute time this round, in seconds —
     /// the paper's Fig. 5 quantity (synchronous FL waits for the
     /// straggler).
@@ -26,6 +32,13 @@ pub struct RoundRecord {
     /// Total bytes uploaded by clients this round (after compression,
     /// when an upload compressor is configured).
     pub upload_bytes: usize,
+    /// Faults injected this round by the configured
+    /// [`crate::fault::FaultPlan`] (dropouts + corruptions +
+    /// stragglers); `0` when no plan is set.
+    pub faults_injected: usize,
+    /// Uploads cut from aggregation by the server this round: deadline
+    /// misses plus validation quarantines.
+    pub updates_rejected: usize,
 }
 
 /// The full trajectory of a simulation run.
@@ -87,6 +100,17 @@ impl History {
         self.rounds.iter().map(|r| r.upload_bytes).sum()
     }
 
+    /// Total faults injected across the run.
+    pub fn total_faults_injected(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults_injected).sum()
+    }
+
+    /// Total uploads rejected by the server across the run (deadline
+    /// misses + validation quarantines).
+    pub fn total_updates_rejected(&self) -> usize {
+        self.rounds.iter().map(|r| r.updates_rejected).sum()
+    }
+
     /// The per-round slowest-client compute times (Fig. 5's series).
     pub fn per_round_seconds(&self) -> Vec<f64> {
         self.rounds.iter().map(|r| r.max_client_seconds).collect()
@@ -143,11 +167,14 @@ mod tests {
             test_accuracy: acc,
             test_loss: 0.0,
             train_loss: 0.0,
+            train_loss_carried: false,
             max_client_seconds: secs,
             total_client_seconds: secs * 2.0,
             alphas: None,
             expelled: 0,
             upload_bytes: 0,
+            faults_injected: 0,
+            updates_rejected: 0,
         }
     }
 
@@ -210,6 +237,16 @@ mod tests {
     }
 
     #[test]
+    fn fault_totals_sum_over_rounds() {
+        let mut h = history(&[0.1, 0.2, 0.3]);
+        h.rounds[0].faults_injected = 2;
+        h.rounds[2].faults_injected = 1;
+        h.rounds[1].updates_rejected = 3;
+        assert_eq!(h.total_faults_injected(), 3);
+        assert_eq!(h.total_updates_rejected(), 3);
+    }
+
+    #[test]
     fn empty_history_is_safe() {
         let h = History::default();
         assert_eq!(h.final_accuracy(), 0.0);
@@ -218,6 +255,8 @@ mod tests {
         assert_eq!(h.time_to_accuracy(0.5), None);
         assert_eq!(h.total_time(), 0.0);
         assert_eq!(h.total_upload_bytes(), 0);
+        assert_eq!(h.total_faults_injected(), 0);
+        assert_eq!(h.total_updates_rejected(), 0);
         assert_eq!(h.best_accuracy(), 0.0);
         assert!(h.accuracy_vs_time().is_empty());
     }

@@ -1,5 +1,6 @@
 //! The parameter-server round loop.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::freeloader::ClientBehavior;
 use crate::metrics::{History, RoundRecord};
 use std::sync::Arc;
@@ -58,6 +59,11 @@ pub struct SimConfig {
     /// Lossy codec applied to every honest upload `Δ_i` before it
     /// reaches the server, with its wire size recorded per round.
     pub upload_compressor: Option<Arc<dyn Compressor>>,
+    /// Deterministic fault injection (dropouts, stragglers, wire
+    /// corruption) plus server-side deadline and update validation.
+    /// `None` disables the subsystem entirely — trajectories are
+    /// bit-identical to a plan-free run.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -76,12 +82,19 @@ impl SimConfig {
             participation: Participation::Full,
             local_steps_per_client: None,
             upload_compressor: None,
+            fault_plan: None,
         }
     }
 
     /// Builder-style upload-compression override.
     pub fn with_compressor(mut self, compressor: Arc<dyn Compressor>) -> Self {
         self.upload_compressor = Some(compressor);
+        self
+    }
+
+    /// Builder-style fault-plan override.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -165,6 +178,7 @@ impl std::fmt::Debug for SimConfig {
                 "upload_compressor",
                 &self.upload_compressor.as_ref().map(|c| c.name()),
             )
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -249,20 +263,67 @@ impl Simulation {
                     expelled_mask[c] = true;
                 }
             }
-            // Participation draw (deterministic per round).
+            // Only a fully-expelled federation freezes training; every
+            // other degenerate round (nothing sampled, everyone
+            // dropped or quarantined) is recorded as empty and the run
+            // continues.
+            let eligible: Vec<usize> = (0..n).filter(|&c| !expelled_mask[c]).collect();
+            if eligible.is_empty() {
+                break;
+            }
+            // Participation draw (deterministic per round). The subset
+            // is drawn from the *eligible* clients — sampling all N
+            // and filtering expelled ones afterwards would silently
+            // shrink effective participation as freeloaders are
+            // expelled. Without expulsions `eligible` is the identity
+            // map, so the historical stream is reproduced bit for bit.
             let participating: Vec<bool> = match self.config.participation {
                 Participation::Full => vec![true; n],
                 Participation::Sample { fraction } => {
-                    let m = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
+                    let m = ((eligible.len() as f64 * fraction).ceil() as usize)
+                        .clamp(1, eligible.len());
                     let mut prng = client_rng(self.config.seed ^ 0x9A97, round, usize::MAX);
-                    let chosen = prng.sample_indices(n, m);
+                    let chosen = prng.sample_indices(eligible.len(), m);
                     let mut v = vec![false; n];
                     for c in chosen {
-                        v[c] = true;
+                        v[eligible[c]] = true;
                     }
                     v
                 }
             };
+            // Fault draws: a pure per-(round, client) function of the
+            // seed and plan, so they are identical whatever the thread
+            // count or execution order.
+            let fault_of: Vec<Option<FaultKind>> = (0..n)
+                .map(|c| {
+                    if expelled_mask[c] || !participating[c] {
+                        return None;
+                    }
+                    self.config
+                        .fault_plan
+                        .as_ref()
+                        .and_then(|p| p.fault_for(self.config.seed, round, c))
+                })
+                .collect();
+            let mut faults_injected = 0usize;
+            for (client, fault) in fault_of.iter().enumerate() {
+                let Some(kind) = fault else { continue };
+                faults_injected += 1;
+                trace::counter(match kind {
+                    FaultKind::Dropout => "sim.faults.dropout",
+                    FaultKind::Straggler { .. } => "sim.faults.straggler",
+                    FaultKind::Corrupt(_) => "sim.faults.corrupt",
+                })
+                .incr();
+                if trace::active() {
+                    trace::emit(
+                        &trace::Event::new("fault")
+                            .with("round", round)
+                            .with("client", client)
+                            .with("fault", kind.label()),
+                    );
+                }
+            }
             // Build this round's jobs for honest, active clients.
             let mut jobs = Vec::new();
             let mut freeloader_updates = Vec::new();
@@ -270,6 +331,11 @@ impl Simulation {
             for client in 0..n {
                 if expelled_mask[client] || !participating[client] {
                     skipped += 1;
+                    continue;
+                }
+                if fault_of[client] == Some(FaultKind::Dropout) {
+                    // The update never arrives; honest dropouts also
+                    // skip the (wasted) local computation.
                     continue;
                 }
                 match self.config.behaviors[client] {
@@ -304,15 +370,48 @@ impl Simulation {
             }
             trace::counter("sim.clients_skipped").add(skipped);
             let participation_secs = draw_span.finish();
-            if jobs.is_empty() && freeloader_updates.is_empty() {
-                // Everyone expelled: freeze training here.
-                break;
-            }
             let local_span = trace::quiet_span!("sim.phase.local");
             let mut updates = self.execute_jobs(&global, jobs, round);
             updates.append(&mut freeloader_updates);
             updates.sort_by_key(|u| u.client);
             let local_secs = local_span.finish();
+            // Straggler slowdown + the server's synchronous deadline.
+            // The deadline compares *simulated* time (steps ×
+            // seconds_per_step × slowdown) so that cuts are
+            // deterministic; the measured wall clock is only inflated
+            // for the timing metrics. Late uploads never arrive, so
+            // they cost no accounted bytes.
+            let mut updates_rejected = 0usize;
+            if let Some(plan) = &self.config.fault_plan {
+                for u in &mut updates {
+                    if let Some(FaultKind::Straggler { factor }) = fault_of[u.client] {
+                        u.compute_seconds *= factor;
+                    }
+                }
+                if let Some(deadline) = plan.deadline {
+                    updates.retain(|u| {
+                        let slowdown = match fault_of[u.client] {
+                            Some(FaultKind::Straggler { factor }) => factor,
+                            _ => 1.0,
+                        };
+                        if deadline.misses(u.steps, slowdown) {
+                            updates_rejected += 1;
+                            trace::counter("sim.faults.deadline_cut").incr();
+                            if trace::active() {
+                                trace::emit(
+                                    &trace::Event::new("fault")
+                                        .with("round", round)
+                                        .with("client", u.client)
+                                        .with("fault", "deadline_cut"),
+                                );
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
             // Lossy upload compression + byte accounting.
             let compress_span = trace::quiet_span!("sim.phase.compress");
             let upload_bytes: usize = match &self.config.upload_compressor {
@@ -328,21 +427,65 @@ impl Simulation {
             };
             let compress_secs = compress_span.finish();
             trace::counter("sim.upload_bytes").add(upload_bytes as u64);
-            // Aggregate and advance.
+            // Wire corruption happens after compression (the payload
+            // is damaged in transit), then the server quarantines
+            // anything non-finite or norm-exploded before aggregation
+            // and reports the offender to the algorithm's
+            // freeloader-detection machinery. Quarantined uploads did
+            // arrive, so their bytes stay counted.
+            if let Some(plan) = &self.config.fault_plan {
+                for u in &mut updates {
+                    if let Some(FaultKind::Corrupt(corruption)) = fault_of[u.client] {
+                        crate::fault::apply_corruption(&mut u.delta, corruption);
+                    }
+                }
+                let algorithm = &mut self.algorithm;
+                updates.retain(|u| match plan.validation.validate(u) {
+                    Ok(()) => true,
+                    Err(reason) => {
+                        updates_rejected += 1;
+                        trace::counter("sim.faults.rejected").incr();
+                        algorithm.report_invalid_update(u.client);
+                        if trace::active() {
+                            trace::emit(
+                                &trace::Event::new("fault")
+                                    .with("round", round)
+                                    .with("client", u.client)
+                                    .with("fault", "quarantine")
+                                    .with("reason", reason.label()),
+                            );
+                        }
+                        false
+                    }
+                });
+            }
+            // Aggregate and advance. A round with no surviving
+            // updates (all sampled clients dropped, cut, or
+            // quarantined) holds the global model and is still
+            // recorded, so the trajectory keeps its round indexing.
             let aggregate_span = trace::quiet_span!("sim.phase.aggregate");
-            let next = self.algorithm.aggregate(&global, &updates, &hyper);
+            let next = if updates.is_empty() {
+                global.clone()
+            } else {
+                self.algorithm.aggregate(&global, &updates, &hyper)
+            };
             let aggregate_secs = aggregate_span.finish();
             prev_global = global;
             global = next;
-            // Metrics.
+            // Metrics. Rounds without an honest participant carry the
+            // previous train loss forward (a 0.0 would plot as a
+            // perfect loss) and are marked as carried.
             let honest: Vec<&ClientUpdate> = updates
                 .iter()
                 .filter(|u| self.config.behaviors[u.client] == ClientBehavior::Honest)
                 .collect();
-            let train_loss = if honest.is_empty() {
-                0.0
+            let (train_loss, train_loss_carried) = if honest.is_empty() {
+                (history.rounds.last().map_or(0.0, |r| r.train_loss), true)
             } else {
-                honest.iter().map(|u| u.mean_loss as f64).sum::<f64>() / honest.len() as f64
+                (
+                    honest.iter().map(|u| u.mean_loss as f64).sum::<f64>() / honest.len() as f64,
+                    false,
+                )
             };
             let max_secs = updates
                 .iter()
@@ -376,8 +519,11 @@ impl Simulation {
                     .with("clients_active", updates.len())
                     .with("clients_skipped", skipped)
                     .with("expelled", expelled_now)
+                    .with("faults_injected", faults_injected)
+                    .with("updates_rejected", updates_rejected)
                     .with("upload_bytes", upload_bytes)
                     .with("train_loss", train_loss)
+                    .with("train_loss_carried", train_loss_carried)
                     .with("evaluated", evaluate_now)
                     .with("test_accuracy", test_acc)
                     .with("test_loss", test_loss)
@@ -405,11 +551,14 @@ impl Simulation {
                 test_accuracy: test_acc,
                 test_loss,
                 train_loss,
+                train_loss_carried,
                 max_client_seconds: max_secs,
                 total_client_seconds: total_secs,
                 alphas,
                 expelled: expelled_now,
                 upload_bytes,
+                faults_injected,
+                updates_rejected,
             });
         }
         trace::flush();
@@ -701,6 +850,383 @@ mod tests {
             "compressed run stuck at {}",
             h_comp.best_accuracy()
         );
+    }
+
+    /// FedAvg with a fixed pre-expelled set, for exercising the
+    /// runner's eligible-set handling without real detection.
+    struct ForcedExpulsion {
+        inner: FedAvg,
+        expelled: Vec<usize>,
+    }
+
+    impl FederatedAlgorithm for ForcedExpulsion {
+        fn name(&self) -> &'static str {
+            "forced-expulsion"
+        }
+        fn local_rule(&self, client: usize, global: &[f32]) -> LocalRule {
+            self.inner.local_rule(client, global)
+        }
+        fn aggregate(
+            &mut self,
+            global: &[f32],
+            updates: &[ClientUpdate],
+            hyper: &HyperParams,
+        ) -> Vec<f32> {
+            self.inner.aggregate(global, updates, hyper)
+        }
+        fn expelled(&self) -> Vec<usize> {
+            self.expelled.clone()
+        }
+    }
+
+    /// Regression for the early-exit bug: a partially-expelled
+    /// federation under partial participation must keep training for
+    /// all configured rounds, drawing `⌈fraction·|eligible|⌉` from the
+    /// eligible set only (6 clients, 2 expelled, fraction 0.34 → 2 of
+    /// the 4 survivors per round). The old code sampled from all N and
+    /// filtered afterwards, shrinking effective participation — and a
+    /// round whose draw happened to land entirely on expelled clients
+    /// silently ended the run.
+    #[test]
+    fn expelled_minority_does_not_end_training_early() {
+        let _guard = trace::test_guard();
+        let sink = Arc::new(trace::MemorySink::new());
+        let prev = trace::set_sink(sink.clone());
+        let hyper = HyperParams::new(6, 4, 0.05, 8);
+        let algorithm = ForcedExpulsion {
+            inner: FedAvg::default(),
+            expelled: vec![0, 1],
+        };
+        let config = SimConfig::new(hyper, 6, 21).with_participation(0.34);
+        let history = Simulation::new(small_fed(6, 21), mlp(21), Box::new(algorithm), config).run();
+        trace::set_sink(prev);
+        trace::clear_sink();
+        assert_eq!(history.rounds.len(), 6, "training ended early");
+        assert!(history.rounds.iter().all(|r| r.expelled == 2));
+        for e in sink.events_of_kind("round") {
+            // ⌈0.34 · 4⌉ = 2 eligible clients participate every round.
+            assert_eq!(
+                e.field("clients_active").and_then(trace::Value::as_f64),
+                Some(2.0)
+            );
+        }
+    }
+
+    #[test]
+    fn fully_expelled_federation_freezes_training() {
+        let hyper = HyperParams::new(3, 2, 0.05, 8);
+        let algorithm = ForcedExpulsion {
+            inner: FedAvg::default(),
+            expelled: vec![0, 1, 2],
+        };
+        let history = Simulation::new(
+            small_fed(3, 22),
+            mlp(22),
+            Box::new(algorithm),
+            SimConfig::new(hyper, 5, 1),
+        )
+        .run();
+        assert!(history.rounds.is_empty(), "frozen run still has rounds");
+        assert_eq!(history.expelled_clients, vec![0, 1, 2]);
+    }
+
+    /// Regression for the train-loss hole: rounds with no honest
+    /// participant used to record `train_loss = 0.0`, which plots as a
+    /// perfect loss. Dropping the sole honest client via a targeted
+    /// fault makes every later round freeloader-only; the measured
+    /// round-0 value must be carried forward and marked.
+    #[test]
+    fn honest_free_rounds_carry_train_loss_forward() {
+        let hyper = HyperParams::new(2, 4, 0.05, 8);
+        let plan = FaultPlan::new()
+            .with_dropouts(1.0)
+            .targeting(vec![0])
+            .starting_at(1);
+        let config = SimConfig::new(hyper, 4, 9)
+            .with_behaviors(vec![ClientBehavior::Honest, ClientBehavior::Freeloader])
+            .with_fault_plan(plan);
+        let history = Simulation::new(
+            small_fed(2, 23),
+            mlp(23),
+            Box::new(FedAvg::default()),
+            config,
+        )
+        .run();
+        assert_eq!(history.rounds.len(), 4);
+        let first = &history.rounds[0];
+        assert!(!first.train_loss_carried);
+        assert!(first.train_loss > 0.0, "round 0 measured no loss");
+        for r in &history.rounds[1..] {
+            assert!(r.train_loss_carried, "round {} not marked carried", r.round);
+            assert_eq!(r.train_loss, first.train_loss);
+            assert_eq!(r.faults_injected, 1);
+        }
+    }
+
+    #[test]
+    fn faulted_histories_are_bit_identical_parallel_or_not() {
+        let hyper = HyperParams::new(5, 5, 0.05, 16);
+        let plan = FaultPlan::new()
+            .with_dropouts(0.25)
+            .with_stragglers(0.25, 3.0)
+            .with_corruption(0.2, 1e9);
+        let run = |sequential: bool| {
+            let config = SimConfig::new(hyper, 6, 77).with_fault_plan(plan.clone());
+            let config = if sequential {
+                config.sequential()
+            } else {
+                config
+            };
+            Simulation::new(
+                small_fed(5, 24),
+                mlp(24),
+                Box::new(FedAvg::default()),
+                config,
+            )
+            .run()
+        };
+        let parallel_a = zero_timing(run(false));
+        let parallel_b = zero_timing(run(false));
+        let sequential = zero_timing(run(true));
+        assert!(
+            parallel_a.total_faults_injected() > 0,
+            "plan never fired; the determinism check is vacuous"
+        );
+        assert_eq!(parallel_a, parallel_b);
+        assert_eq!(parallel_a, sequential);
+    }
+
+    #[test]
+    fn inert_plan_matches_plan_free_run() {
+        let hyper = HyperParams::new(4, 5, 0.05, 16);
+        let with_plan = SimConfig::new(hyper, 4, 13).with_fault_plan(FaultPlan::new());
+        let without = SimConfig::new(hyper, 4, 13);
+        let h_plan = zero_timing(
+            Simulation::new(
+                small_fed(4, 25),
+                mlp(25),
+                Box::new(FedAvg::default()),
+                with_plan,
+            )
+            .run(),
+        );
+        let h_none = zero_timing(
+            Simulation::new(
+                small_fed(4, 25),
+                mlp(25),
+                Box::new(FedAvg::default()),
+                without,
+            )
+            .run(),
+        );
+        assert_eq!(h_plan, h_none);
+        assert_eq!(h_plan.total_faults_injected(), 0);
+        assert_eq!(h_plan.total_updates_rejected(), 0);
+    }
+
+    #[test]
+    fn total_dropout_holds_the_global_model_but_keeps_round_indexing() {
+        let hyper = HyperParams::new(3, 3, 0.05, 8);
+        let plan = FaultPlan::new().with_dropouts(1.0);
+        let config = SimConfig::new(hyper, 4, 31).with_fault_plan(plan);
+        let history = Simulation::new(
+            small_fed(3, 26),
+            mlp(26),
+            Box::new(FedAvg::default()),
+            config,
+        )
+        .run();
+        assert_eq!(history.rounds.len(), 4, "empty rounds must still count");
+        assert_eq!(history.total_faults_injected(), 3 * 4);
+        let acc0 = history.rounds[0].test_accuracy;
+        for r in &history.rounds {
+            assert_eq!(r.test_accuracy, acc0, "global moved in an empty round");
+            assert!(r.train_loss_carried);
+            assert_eq!(r.upload_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn quarantine_evidence_expels_the_corrupt_client() {
+        // Client 0 corrupts every upload into a norm explosion the
+        // validator rejects; each quarantine is reported to TACO's
+        // detection as a strike, so with λ = 1 it is expelled after
+        // round 1 and the survivors finish the run.
+        let hyper = HyperParams::new(4, 4, 0.05, 16);
+        let taco = Taco::new(
+            4,
+            taco_core::taco::TacoConfig::paper_default(10, 4).with_detection(0.6, 1),
+        );
+        let plan = FaultPlan::new()
+            .with_corruption(1.0, 1e12)
+            .targeting(vec![0])
+            .with_max_delta_norm(1e4);
+        let config = SimConfig::new(hyper, 10, 17).with_fault_plan(plan);
+        let history = Simulation::new(small_fed(4, 27), mlp(27), Box::new(taco), config).run();
+        assert_eq!(history.rounds.len(), 10);
+        assert_eq!(history.expelled_clients, vec![0]);
+        // After expulsion the client stops participating, so rejections
+        // stop accruing: exactly λ + 1 = 2 strikes were ever recorded.
+        assert_eq!(history.total_updates_rejected(), 2);
+        assert!(
+            history.rounds.last().map_or(0, |r| r.updates_rejected) == 0,
+            "expelled client still uploading"
+        );
+    }
+
+    /// Acceptance check: the per-round trace events report exactly the
+    /// fault and rejection counts that replaying the plan's pure
+    /// `fault_for` predicts for the participating clients.
+    #[test]
+    fn round_events_match_a_plan_replay() {
+        let _guard = trace::test_guard();
+        let sink = Arc::new(trace::MemorySink::new());
+        let prev = trace::set_sink(sink.clone());
+        let n = 5;
+        let seed = 41;
+        let rounds = 5;
+        let hyper = HyperParams::new(n, 4, 0.05, 16);
+        let plan = FaultPlan::new()
+            .with_dropouts(0.3)
+            .with_corruption(0.3, 1e12)
+            .with_max_delta_norm(1e4);
+        let config = SimConfig::new(hyper, rounds, seed).with_fault_plan(plan.clone());
+        let history = Simulation::new(
+            small_fed(n, 28),
+            mlp(28),
+            Box::new(FedAvg::default()),
+            config,
+        )
+        .run();
+        trace::set_sink(prev);
+        trace::clear_sink();
+        let events = sink.events_of_kind("round");
+        assert_eq!(events.len(), rounds);
+        for (round, e) in events.iter().enumerate() {
+            let faults: Vec<FaultKind> = (0..n)
+                .filter_map(|c| plan.fault_for(seed, round, c))
+                .collect();
+            let rejected = faults
+                .iter()
+                .filter(|k| matches!(k, FaultKind::Corrupt(_)))
+                .count();
+            assert_eq!(
+                e.field("faults_injected").and_then(trace::Value::as_f64),
+                Some(faults.len() as f64),
+                "round {round} fault count diverges from the plan"
+            );
+            // Every corruption is a norm explosion far past the cap,
+            // so the quarantine count equals the corruption count.
+            assert_eq!(
+                e.field("updates_rejected").and_then(trace::Value::as_f64),
+                Some(rejected as f64),
+                "round {round} rejection count diverges from the plan"
+            );
+            assert_eq!(
+                history.rounds[round].faults_injected,
+                faults.len(),
+                "history and trace disagree"
+            );
+        }
+        assert!(
+            history.total_faults_injected() > 0,
+            "plan never fired; replay check is vacuous"
+        );
+        // Individual fault events arrive under the event kind "fault"
+        // with the category in a "fault" field ("kind" is a reserved
+        // Event key): one per injection plus one per quarantine.
+        let fault_events = sink.events_of_kind("fault");
+        assert_eq!(
+            fault_events.len(),
+            history.total_faults_injected() + history.total_updates_rejected()
+        );
+        for e in &fault_events {
+            let label = e.field("fault").and_then(trace::Value::as_str);
+            assert!(
+                matches!(
+                    label,
+                    Some(
+                        "dropout"
+                            | "straggler"
+                            | "corrupt_nan"
+                            | "corrupt_inf"
+                            | "corrupt_scale"
+                            | "deadline_cut"
+                            | "quarantine"
+                    )
+                ),
+                "unexpected fault label {label:?}"
+            );
+        }
+    }
+
+    /// SCAFFOLD under system heterogeneity: the control-variate update
+    /// now normalizes each client's Δ_i by its own `τ_i·η_l`, so wildly
+    /// different local step counts no longer corrupt the variates.
+    #[test]
+    fn scaffold_learns_under_heterogeneous_local_steps() {
+        let fed = small_fed(4, 29);
+        let hyper = HyperParams::new(4, 8, 0.05, 16);
+        let config = SimConfig::new(hyper, 10, 19).with_local_steps(vec![2, 4, 8, 16]);
+        let history = Simulation::new(
+            fed,
+            mlp(29),
+            Box::new(taco_core::Scaffold::new(4, 1.0)),
+            config,
+        )
+        .run();
+        assert_eq!(history.rounds.len(), 10);
+        assert!(
+            history.best_accuracy() > 0.6,
+            "SCAFFOLD under heterogeneous τ stuck at {}",
+            history.best_accuracy()
+        );
+        assert!(!history.diverged(0.5));
+    }
+
+    #[test]
+    fn deadline_cuts_stragglers_deterministically() {
+        let hyper = HyperParams::new(4, 4, 0.05, 16);
+        // Every fault is a 10× straggler; the deadline allows 2× the
+        // nominal 4-step round, so every straggler misses it.
+        let plan = FaultPlan::new()
+            .with_stragglers(1.0, 10.0)
+            .targeting(vec![1, 3])
+            .with_deadline(8.0, 1.0);
+        let config = SimConfig::new(hyper, 5, 53).with_fault_plan(plan);
+        let dim = mlp(30).params().len();
+        let history = Simulation::new(
+            small_fed(4, 30),
+            mlp(30),
+            Box::new(FedAvg::default()),
+            config,
+        )
+        .run();
+        assert_eq!(history.rounds.len(), 5);
+        for r in &history.rounds {
+            assert_eq!(r.faults_injected, 2, "round {}", r.round);
+            assert_eq!(r.updates_rejected, 2, "round {}", r.round);
+            // Cut uploads never arrive, so only the two survivors'
+            // raw f32 payloads are counted.
+            assert_eq!(r.upload_bytes, 2 * dim * 4, "round {}", r.round);
+        }
+        let h2 = {
+            let plan = FaultPlan::new()
+                .with_stragglers(1.0, 10.0)
+                .targeting(vec![1, 3])
+                .with_deadline(8.0, 1.0);
+            let config = SimConfig::new(hyper, 5, 53)
+                .with_fault_plan(plan)
+                .sequential();
+            Simulation::new(
+                small_fed(4, 30),
+                mlp(30),
+                Box::new(FedAvg::default()),
+                config,
+            )
+            .run()
+        };
+        assert_eq!(zero_timing(history), zero_timing(h2));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 set -x
 mkdir -p results/logs
 for exp in table1 fig7 table8 table2 fig5 table3 fig6 ablation_alpha \
-           ext_baselines ext_compression ext_comm_regimes fig2 fig4 table6 table5; do
+           ext_baselines ext_compression ext_comm_regimes fault_sweep \
+           fig2 fig4 table6 table5; do
   ./target/release/$exp > results/logs/$exp.log 2>&1 || echo "FAILED: $exp" >> results/logs/failures.txt
   echo "done $exp"
 done
