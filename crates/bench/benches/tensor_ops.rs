@@ -230,7 +230,7 @@ fn print_kernel_spans() {
 }
 
 fn main() {
-    taco_bench::banner(
+    let _manifest = taco_bench::banner(
         "tensor_ops",
         "Tensor kernel microbenchmarks",
         "fast federated simulation is kernel-bound (FedJAX); blocked + pooled kernels \

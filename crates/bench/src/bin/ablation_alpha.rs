@@ -8,7 +8,7 @@ use taco_core::taco::TacoConfig;
 use taco_core::Taco;
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "ablation_alpha",
         "Ablation: Eq. 7 design variants",
         "the full formula (clamped cosine x magnitude) should dominate its ablations",

@@ -8,7 +8,7 @@ use taco_core::{FedDyn, FedNova, FederatedAlgorithm};
 use taco_sim::{SimConfig, Simulation};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "ext_baselines",
         "Extension: FedNova/FedDyn baselines + partial participation",
         "(not in the paper) TACO should stay competitive under both",

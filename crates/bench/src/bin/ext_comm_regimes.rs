@@ -8,7 +8,7 @@ use taco_bench::{all_algorithms, banner, report, run, workload, Scale};
 use taco_sim::comm::{time_to_accuracy_with_comm, CommModel};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "ext_comm_regimes",
         "Extension: time-to-accuracy across network regimes",
         "(not in the paper) fast-per-round algorithms win on fast links; few-round algorithms win on slow links",

@@ -10,7 +10,7 @@ use taco_core::compress::{Compressor, NoCompression, TopK, Uniform8Bit};
 use taco_sim::{SimConfig, Simulation};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "ext_compression",
         "Extension: upload compression x algorithm",
         "(not in the paper) top-k/8-bit uploads vs accuracy and bytes",

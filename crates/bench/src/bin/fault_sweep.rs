@@ -47,7 +47,7 @@ fn scenarios(local_steps: usize) -> Vec<(&'static str, FaultPlan)> {
 }
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "fault_sweep",
         "Fault sweep: FedAvg vs TACO under injected client faults (adult)",
         "quarantine + detection keep degradation graceful as fault rates climb",

@@ -8,7 +8,7 @@
 use taco_bench::{all_algorithms, banner, report, run, workload, Scale};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "fig2",
         "Fig. 2: round- and time-to-accuracy re-evaluation",
         "FedProx/Scaffold unstable or divergent; STEM good per round but slow per second; TACO best overall",

@@ -8,7 +8,7 @@
 use taco_bench::{all_algorithms, banner, format_rounds, report, run, workload, Scale};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "fig4",
         "Fig. 4: cumulative client time to target accuracy",
         "TACO fastest (−25.6% to −62.7% vs FedAvg); STEM slowest despite good rounds; FedProx/Scaffold fail on SVHN",

@@ -8,7 +8,7 @@ use taco_bench::{all_algorithms, banner, report, run, workload, Scale};
 use taco_tensor::stats;
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "fig5",
         "Fig. 5: local computation time per FL round (median over rounds)",
         "FoolsGold ≈ FedAvg < TACO < Scaffold < FedProx ≈ FedACG << STEM",

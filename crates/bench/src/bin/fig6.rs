@@ -8,7 +8,7 @@
 use taco_bench::{algorithm_by_name, banner, report, run, workload, Scale};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "fig6",
         "Fig. 6: prior methods improved by TACO's tailored coefficients",
         "FedProx+TACO > FedProx and Scaffold+TACO > Scaffold on FMNIST and SVHN",

@@ -9,7 +9,7 @@ use taco_core::taco::TacoConfig;
 use taco_core::Taco;
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "fig7",
         "Fig. 7: sensitivity of gamma",
         "optimum near gamma = 1/K; gamma too large can break convergence",

@@ -10,7 +10,7 @@
 use taco_bench::{all_algorithms, banner, report, run, workload, Scale};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "table1",
         "Table I: computation time per 100 local updates (CNN)",
         "FMNIST: FedAvg 0.323s; +23.5% FedProx, +7.7% Scaffold, +40.9% STEM, +24.2% FedACG, +0% FoolsGold",

@@ -11,7 +11,7 @@ use taco_sim::ClientBehavior;
 use taco_tensor::stats::MeanStd;
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "table2",
         "Table II: average correction coefficient by client group",
         "Group A ~0.2 < Group B ~0.3 < Group C ~0.4 << freeloaders ~0.8",

@@ -60,7 +60,7 @@ fn capabilities(name: &str) -> Caps {
 }
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "table3",
         "Table III: capability matrix + client time per round (residual net, CIFAR-100-equivalent)",
         "TACO is the only algorithm with all three capabilities at Low overhead; STEM is High",

@@ -8,7 +8,7 @@
 use taco_bench::{all_algorithms, banner, format_rounds, report, run, workload, Scale};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "table5",
         "Table V: round-to-accuracy across datasets",
         "TACO best accuracy on all 6 datasets; FedProx/Scaffold diverge on SVHN; STEM strong per-round",

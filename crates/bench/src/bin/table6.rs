@@ -11,7 +11,7 @@ use taco_core::taco::TacoConfig;
 use taco_core::Taco;
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "table6",
         "Table VI: ablation (tailored correction x tailored aggregation)",
         "correction contributes more than aggregation; both together are best",

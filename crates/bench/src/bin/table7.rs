@@ -7,7 +7,7 @@
 use taco_bench::{all_algorithms, banner, report, run, workload, Scale};
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "table7",
         "Table VII: scalability (100-client federation)",
         "TACO best on adult/FEMNIST/CIFAR-100 at 100 clients",

@@ -11,7 +11,7 @@ use taco_sim::detection;
 use taco_sim::freeloader::with_freeloaders;
 
 fn main() {
-    banner(
+    let _manifest = banner(
         "table8",
         "Table VIII: sensitivity of detection thresholds (FMNIST, 40% freeloaders)",
         "kappa 0.5-0.8 with lambda=T/5: TPR 100%, FPR 0%; kappa=1.0: TPR 0%",

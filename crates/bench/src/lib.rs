@@ -12,6 +12,8 @@
 
 #![deny(missing_docs)]
 
+pub mod perf;
+
 use std::io::Write as _;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -404,7 +406,9 @@ fn record_run(
     state.runs.push(entry);
 }
 
-fn build_info() -> Value {
+/// Build metadata (crate version, debug/release profile, OS, arch)
+/// stamped into every run manifest and perf report.
+pub fn build_info() -> Value {
     Value::object(vec![
         (
             "version".to_string(),
@@ -463,9 +467,10 @@ fn write_manifest() {
         ("runs".to_string(), Value::Array(state.runs.clone())),
         ("trace".to_string(), taco_trace::snapshot().to_value()),
     ]);
-    let path = std::path::Path::new("results").join(format!("{}_manifest.json", state.slug));
+    let dir = results_dir();
+    let path = dir.join(format!("{}_manifest.json", state.slug));
     let write = || -> std::io::Result<()> {
-        std::fs::create_dir_all("results")?;
+        std::fs::create_dir_all(&dir)?;
         let mut f = std::fs::File::create(&path)?;
         writeln!(f, "{}", manifest.to_json())
     };
@@ -530,9 +535,17 @@ pub fn report_csv_only(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     write_manifest();
 }
 
+/// The artifact directory: `results/` unless overridden by the
+/// `TACO_RESULTS_DIR` environment variable (tests point it at a
+/// scratch directory).
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("TACO_RESULTS_DIR")
+        .map_or_else(|| std::path::PathBuf::from("results"), Into::into)
+}
+
 fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
     let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
     writeln!(f, "{}", headers.join(","))?;
     for row in rows {
@@ -551,6 +564,24 @@ fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Res
     Ok(())
 }
 
+/// Flushes the run manifest when dropped — including during the
+/// unwind of a panicking scenario, so a crashed experiment still
+/// leaves `results/<slug>_manifest.json` describing every run that
+/// completed before the crash.
+///
+/// Returned by [`banner`]; hold it (`let _manifest = banner(...)`)
+/// for the duration of the experiment.
+#[must_use = "hold the guard for the whole run: dropping it flushes the run manifest"]
+pub struct ManifestGuard {
+    _priv: (),
+}
+
+impl Drop for ManifestGuard {
+    fn drop(&mut self) {
+        write_manifest();
+    }
+}
+
 /// Paper-vs-measured banner printed at the top of every experiment
 /// binary.
 ///
@@ -558,7 +589,10 @@ fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Res
 /// `results/<slug>_manifest.json`); `title` and `paper_claim` are the
 /// human-readable header. Also initialises JSONL tracing from the
 /// `TACO_TRACE` environment variable and starts the run manifest.
-pub fn banner(slug: &str, title: &str, paper_claim: &str) {
+/// The returned [`ManifestGuard`] re-flushes the manifest on drop so
+/// it survives a mid-run panic; [`report`] / [`report_csv_only`]
+/// still flush eagerly after every artifact.
+pub fn banner(slug: &str, title: &str, paper_claim: &str) -> ManifestGuard {
     taco_trace::init_from_env();
     *manifest_lock() = Some(ManifestState {
         slug: slug.to_string(),
@@ -570,6 +604,7 @@ pub fn banner(slug: &str, title: &str, paper_claim: &str) {
     println!("== {title} ==");
     println!("paper: {paper_claim}");
     println!();
+    ManifestGuard { _priv: () }
 }
 
 #[cfg(test)]
@@ -626,6 +661,24 @@ mod tests {
         ] {
             assert_eq!(algorithm_by_name(n, 2, 10, 5).name(), n);
         }
+    }
+
+    #[test]
+    fn manifest_is_flushed_even_when_a_scenario_panics() {
+        let dir = std::env::temp_dir().join(format!("taco_bench_manifest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("TACO_RESULTS_DIR", &dir);
+        let result = std::panic::catch_unwind(|| {
+            let _manifest = banner("panicky", "panic drill", "n/a");
+            panic!("scenario blew up mid-run");
+        });
+        std::env::remove_var("TACO_RESULTS_DIR");
+        assert!(result.is_err(), "the drill is supposed to panic");
+        let text = std::fs::read_to_string(dir.join("panicky_manifest.json"))
+            .expect("manifest must exist after the panic unwound the guard");
+        assert!(text.contains("panicky"), "{text}");
+        assert!(text.contains("runs"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

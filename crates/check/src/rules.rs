@@ -19,9 +19,12 @@ pub enum RuleId {
     /// so `TACO_THREADS` stays the single thread budget and result
     /// partitioning stays deterministic.
     D1ThreadSpawn,
-    /// No `Instant::now`/`SystemTime::now` outside `trace`/`bench` —
-    /// the simulation's cost model must consume injected timings, so
-    /// wall-clock never leaks into simulated time.
+    /// No `Instant::now`/`SystemTime::now` outside the `bench` crate
+    /// and the trace clock edge (`trace::span`, `trace::event`) — the
+    /// simulation's cost model must consume injected timings, so
+    /// wall-clock never leaks into simulated time. Other justified
+    /// readings (kernel timers, the trace perf module) carry explicit
+    /// pragmas.
     D2WallClock,
     /// No `HashMap`/`HashSet` in `core`/`sim`/`nn` library code —
     /// their iteration order is nondeterministic; use `BTreeMap`/
@@ -99,8 +102,14 @@ pub struct Finding {
 const DETERMINISTIC_CRATES: [&str; 3] = ["core", "sim", "nn"];
 /// Crates whose library code must be panic-free (D4).
 const PANIC_FREE_CRATES: [&str; 4] = ["core", "sim", "nn", "data"];
-/// Crates allowed to read the wall clock (D2).
-const WALL_CLOCK_CRATES: [&str; 2] = ["trace", "bench"];
+/// Crates allowed to read the wall clock wholesale (D2): the bench
+/// harness measures wall time by design.
+const WALL_CLOCK_CRATES: [&str; 1] = ["bench"];
+/// The trace files that *define* the clock edge (span timers, event
+/// timestamps). The rest of the trace crate is held to D2 like
+/// everyone else and must pragma each justified reading — e.g. the
+/// perf-suite repeat timer in `trace::perf`.
+const WALL_CLOCK_FILES: [&str; 2] = ["crates/trace/src/span.rs", "crates/trace/src/event.rs"];
 /// The one file allowed to create threads (D1).
 const POOL_FILE: &str = "crates/tensor/src/pool.rs";
 
@@ -268,7 +277,9 @@ fn rule_d1(ctx: &FileCtx, idx: &FileIndex, out: &mut Vec<Finding>) {
 }
 
 fn rule_d2(ctx: &FileCtx, idx: &FileIndex, out: &mut Vec<Finding>) {
-    if WALL_CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+    if WALL_CLOCK_CRATES.contains(&ctx.crate_name.as_str())
+        || WALL_CLOCK_FILES.contains(&ctx.rel_path.as_str())
+    {
         return;
     }
     for i in 0..idx.code.len() {
@@ -456,11 +467,20 @@ mod tests {
     }
 
     #[test]
-    fn d2_exempts_trace_and_bench() {
+    fn d2_exempts_bench_and_only_the_trace_clock_edge() {
         let src = "fn f() { let t = Instant::now(); }\n";
         assert_eq!(run("crates/sim/src/x.rs", src)[0].rule, RuleId::D2WallClock);
-        assert!(run("crates/trace/src/x.rs", src).is_empty());
         assert!(run("crates/bench/src/x.rs", src).is_empty());
+        // Only span.rs/event.rs define the clock edge; the rest of the
+        // trace crate needs a pragma per reading.
+        assert!(run("crates/trace/src/span.rs", src).is_empty());
+        assert!(run("crates/trace/src/event.rs", src).is_empty());
+        assert_eq!(
+            run("crates/trace/src/perf.rs", src)[0].rule,
+            RuleId::D2WallClock
+        );
+        let pragmad = "fn f() {\n    // taco-check: allow(wall-clock, perf timing only)\n    let t = Instant::now();\n}\n";
+        assert!(run("crates/trace/src/perf.rs", pragmad).is_empty());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod detection;
 pub mod fault;
 pub mod freeloader;
 pub mod metrics;
+pub mod phase;
 pub mod runner;
 
 pub use fault::{Corruption, Deadline, FaultKind, FaultPlan, RejectReason, ValidationPolicy};

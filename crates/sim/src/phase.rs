@@ -1,0 +1,57 @@
+//! Stable names of the round-loop phases — a **reported contract**.
+//!
+//! Each phase of [`crate::Simulation::run`] is timed by a quiet span
+//! feeding the `<name>.seconds` histogram (see `taco_trace::perf` for
+//! the quantile aggregation). The perf-trajectory suite (`perf_suite`
+//! → `BENCH_perf_suite.json`) and the round trace events report these
+//! names verbatim, so renaming one is a telemetry schema change: bump
+//! the BENCH schema version and regenerate the committed trajectory if
+//! you must.
+
+/// The whole communication round.
+pub const ROUND: &str = "sim.round";
+/// Expulsion filtering + participation draw.
+pub const PARTICIPATION: &str = "sim.phase.participation";
+/// Local client training (all clients of the round).
+pub const LOCAL: &str = "sim.phase.local";
+/// Lossy upload compression + byte accounting.
+pub const COMPRESS: &str = "sim.phase.compress";
+/// Server-side aggregation.
+pub const AGGREGATE: &str = "sim.phase.aggregate";
+/// Global-model evaluation.
+pub const EVAL: &str = "sim.phase.eval";
+/// One client's local computation (per-client, inside [`LOCAL`]).
+pub const CLIENT_COMPUTE: &str = "client_compute";
+
+/// Every phase name, outermost first.
+pub const ALL: [&str; 7] = [
+    ROUND,
+    PARTICIPATION,
+    LOCAL,
+    COMPRESS,
+    AGGREGATE,
+    EVAL,
+    CLIENT_COMPUTE,
+];
+
+/// The `<name>.seconds` histogram a phase's span feeds.
+pub fn seconds_histogram(phase: &str) -> String {
+    format!("{phase}.seconds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_unique_and_namespaced() {
+        let mut names = ALL.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+        for name in ALL {
+            assert!(!name.ends_with(".seconds"), "{name} already suffixed");
+        }
+        assert_eq!(seconds_histogram(ROUND), "sim.round.seconds");
+    }
+}

@@ -252,8 +252,11 @@ impl Simulation {
         let hyper = self.config.hyper;
         let needs_momentum_upload = self.algorithm.uploads_momentum();
         for round in 0..self.config.rounds {
-            let round_span = trace::quiet_span!("sim.round");
-            let draw_span = trace::quiet_span!("sim.phase.participation");
+            // Phase spans use the stable names in [`crate::phase`]:
+            // their `.seconds` histograms are a reported contract
+            // consumed by the perf-trajectory suite.
+            let round_span = trace::Span::quiet(crate::phase::ROUND);
+            let draw_span = trace::Span::quiet(crate::phase::PARTICIPATION);
             self.algorithm.begin_round(round, &global);
             let expelled: Vec<usize> = self.algorithm.expelled();
             let n = self.fed.num_clients();
@@ -370,7 +373,7 @@ impl Simulation {
             }
             trace::counter("sim.clients_skipped").add(skipped);
             let participation_secs = draw_span.finish();
-            let local_span = trace::quiet_span!("sim.phase.local");
+            let local_span = trace::Span::quiet(crate::phase::LOCAL);
             let mut updates = self.execute_jobs(&global, jobs, round);
             updates.append(&mut freeloader_updates);
             updates.sort_by_key(|u| u.client);
@@ -413,7 +416,7 @@ impl Simulation {
                 }
             }
             // Lossy upload compression + byte accounting.
-            let compress_span = trace::quiet_span!("sim.phase.compress");
+            let compress_span = trace::Span::quiet(crate::phase::COMPRESS);
             let upload_bytes: usize = match &self.config.upload_compressor {
                 Some(c) => {
                     let mut bytes = 0;
@@ -463,7 +466,7 @@ impl Simulation {
             // updates (all sampled clients dropped, cut, or
             // quarantined) holds the global model and is still
             // recorded, so the trajectory keeps its round indexing.
-            let aggregate_span = trace::quiet_span!("sim.phase.aggregate");
+            let aggregate_span = trace::Span::quiet(crate::phase::AGGREGATE);
             let next = if updates.is_empty() {
                 global.clone()
             } else {
@@ -494,7 +497,7 @@ impl Simulation {
             let total_secs: f64 = updates.iter().map(|u| u.compute_seconds).sum();
             let evaluate_now =
                 round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
-            let eval_span = trace::quiet_span!("sim.phase.eval");
+            let eval_span = trace::Span::quiet(crate::phase::EVAL);
             let (test_loss, test_acc) = if evaluate_now {
                 let out = self.algorithm.output_params(&global);
                 prototype.set_params(&out);
@@ -596,7 +599,7 @@ impl Simulation {
             // Wall-clock time is read only through taco-trace spans
             // (D2): the span both feeds the `client_compute.seconds`
             // histogram and hands back the measured duration.
-            let compute_span = trace::Span::quiet("client_compute");
+            let compute_span = trace::Span::quiet(crate::phase::CLIENT_COMPUTE);
             let outcome = update::run_local_steps(
                 &mut *model,
                 fed.client(job.client),

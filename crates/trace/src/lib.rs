@@ -12,7 +12,11 @@
 //! - pluggable **sinks** ([`sink`]) receiving structured [`Event`]s: a
 //!   no-op default, an in-memory sink for tests, and a JSONL file sink
 //!   enabled by setting the `TACO_TRACE` environment variable to a
-//!   file path (see [`init_from_env`]).
+//!   file path (see [`init_from_env`]);
+//! - **perf helpers** ([`perf`]) — per-span-name timing aggregation
+//!   with `p50/p90/p99` quantiles, a zero-dependency peak-RSS probe
+//!   (surfaced on every [`Snapshot`]), and the median-of-repeats timer
+//!   behind the `BENCH_*.json` perf trajectory.
 //!
 //! # Example
 //!
@@ -41,12 +45,14 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod perf;
 pub mod sink;
 pub mod span;
 pub mod value;
 
 pub use event::Event;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use perf::{peak_rss_bytes, span_stats, SpanStats};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
 pub use span::Span;
 pub use value::Value;

@@ -132,6 +132,22 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Median observation so far (see [`HistogramSnapshot::quantile`]
+    /// for resolution: exact to the containing log₂ bucket).
+    pub fn p50(&self) -> f64 {
+        self.snapshot().quantile(0.5)
+    }
+
+    /// 90th percentile so far.
+    pub fn p90(&self) -> f64 {
+        self.snapshot().quantile(0.9)
+    }
+
+    /// 99th percentile so far.
+    pub fn p99(&self) -> f64 {
+        self.snapshot().quantile(0.99)
+    }
+
     /// An immutable copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count();
@@ -205,6 +221,21 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Median observation.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     fn to_value(&self) -> Value {
         Value::object(vec![
             ("count".to_string(), Value::U64(self.count)),
@@ -212,8 +243,9 @@ impl HistogramSnapshot {
             ("min".to_string(), Value::F64(self.min)),
             ("max".to_string(), Value::F64(self.max)),
             ("mean".to_string(), Value::F64(self.mean())),
-            ("p50".to_string(), Value::F64(self.quantile(0.5))),
-            ("p99".to_string(), Value::F64(self.quantile(0.99))),
+            ("p50".to_string(), Value::F64(self.p50())),
+            ("p90".to_string(), Value::F64(self.p90())),
+            ("p99".to_string(), Value::F64(self.p99())),
         ])
     }
 }
@@ -261,7 +293,8 @@ impl Registry {
         intern(&self.histograms, name)
     }
 
-    /// An immutable, name-sorted copy of every metric.
+    /// An immutable, name-sorted copy of every metric, stamped with
+    /// the process's current peak RSS (where the platform exposes it).
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             counters: lock(&self.counters)
@@ -276,6 +309,7 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            peak_rss_bytes: crate::perf::peak_rss_bytes(),
         }
     }
 
@@ -298,10 +332,15 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histogram summaries by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Peak resident-set size of the process when the snapshot was
+    /// taken (`VmHWM`; see [`crate::perf::peak_rss_bytes`]). `None` on
+    /// platforms without procfs.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl Snapshot {
-    /// `true` when no metric of any kind was recorded.
+    /// `true` when no metric of any kind was recorded (the peak-RSS
+    /// stamp does not count: it is always present on linux).
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
@@ -336,6 +375,10 @@ impl Snapshot {
                         .map(|(k, h)| (k.clone(), h.to_value()))
                         .collect(),
                 ),
+            ),
+            (
+                "peak_rss_bytes".to_string(),
+                self.peak_rss_bytes.map_or(Value::Null, Value::U64),
             ),
         ])
     }
@@ -384,6 +427,64 @@ mod tests {
         // p50 falls in the bucket containing 1.0/1.5 (lower bound 1.0).
         assert_eq!(s.quantile(0.5), 1.0);
         assert!(s.quantile(1.0) <= 4.0);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_seeded_inputs() {
+        // 90 observations in the [1, 2) bucket, 9 in [8, 16), 1 in
+        // [128, 256): the quantile is the lower bound of the bucket
+        // where the cumulative count crosses the rank, so p50 and p90
+        // land exactly on 1.0 (ranks 50 and 90 of 100), p99 on 8.0
+        // (rank 99), and p100 on the exact max.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(1.5);
+        }
+        for _ in 0..9 {
+            h.observe(9.0);
+        }
+        h.observe(130.0);
+        assert_eq!(h.p50(), 1.0);
+        assert_eq!(h.p90(), 1.0);
+        assert_eq!(h.p99(), 8.0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.991), 128.0);
+        assert_eq!(s.quantile(1.0), 128.0);
+        assert_eq!(s.max, 130.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_over_seeded_spreads() {
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            // xorshift64*: deterministic spread over ~6 decades.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            (x.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f64 / 1e3 + 1e-6
+        };
+        let h = Histogram::default();
+        for _ in 0..500 {
+            h.observe(next());
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= s.p90(), "p50 {} > p90 {}", s.p50(), s.p90());
+        assert!(s.p90() <= s.p99(), "p90 {} > p99 {}", s.p90(), s.p99());
+        assert!(s.min <= s.p50() && s.p99() <= s.max);
+        // Histogram-level accessors agree with the snapshot's.
+        assert_eq!(h.p50(), s.p50());
+        assert_eq!(h.p90(), s.p90());
+        assert_eq!(h.p99(), s.p99());
+    }
+
+    #[test]
+    fn snapshot_carries_the_peak_rss_stamp_on_linux() {
+        let s = Registry::default().snapshot();
+        if cfg!(target_os = "linux") {
+            assert!(s.peak_rss_bytes.is_some_and(|b| b > 0));
+        }
+        let v = s.to_value();
+        assert!(v.get("peak_rss_bytes").is_some());
     }
 
     #[test]
