@@ -10,6 +10,10 @@
 //! - FedAvg and TACO round wall-time (median of `TACO_PERF_REPEATS`
 //!   timed runs, default 5, after one warm-up) and deterministic
 //!   bytes/round on the adult workload;
+//! - sharded vs sequential aggregation-backend wall-times: a
+//!   server-side aggregation microbenchmark at parameter-server scale
+//!   and a full TACO round trajectory, both on a 4-worker pool (see
+//!   `taco_sim::backend`);
 //! - peak resident-set size;
 //! - a per-span quantile report for every `sim.*` phase span
 //!   (see `taco_sim::phase` for the name contract).
@@ -21,7 +25,9 @@
 
 use taco_bench::perf::{HostInfo, PerfMetric, PerfReport, SCHEMA_VERSION};
 use taco_bench::{algorithm_by_name, banner, build_info, workload, Scale};
-use taco_sim::History;
+use taco_core::taco::TacoConfig;
+use taco_core::{ClientUpdate, FederatedAlgorithm, HyperParams, Taco};
+use taco_sim::{BackendChoice, History};
 use taco_tensor::pool::{self, Pool};
 use taco_tensor::{linalg, Prng, Tensor};
 use taco_trace as trace;
@@ -119,6 +125,83 @@ fn round_costs(algorithm: &str, reps: usize) -> (f64, f64) {
     (secs, bytes_per_round)
 }
 
+/// Median wall-ms of TACO server-side aggregation alone at
+/// parameter-server scale (32 uploads × 256 Ki dims, 6 rounds) on a
+/// 4-worker pool, per backend. Client compute is excluded, so the
+/// sequential/sharded gap is the aggregation speed-up itself rather
+/// than a sliver of a training-dominated round. The per-upload clone
+/// inside the timed body is identical for both backends; six rounds
+/// amortize the sharded backend's one-time table allocation so the
+/// steady-state (eager, cache-hot accumulation) dominates.
+fn shard_aggregate_ms(choice: BackendChoice, reps: usize) -> f64 {
+    const DIM: usize = 262_144;
+    const CLIENTS: usize = 32;
+    const ROUNDS: usize = 6;
+    let mut rng = Prng::seed_from_u64(SUITE_SEED ^ 0x5A4D);
+    let per_round: Vec<Vec<ClientUpdate>> = (0..ROUNDS)
+        .map(|_| {
+            (0..CLIENTS)
+                .map(|client| ClientUpdate {
+                    client,
+                    delta: (0..DIM).map(|_| rng.normal_f32() * 0.01).collect(),
+                    num_samples: 1,
+                    final_v: None,
+                    mean_loss: 0.0,
+                    grad_evals: 0,
+                    steps: 1,
+                    compute_seconds: 0.0,
+                })
+                .collect()
+        })
+        .collect();
+    let hyper = HyperParams::new(CLIENTS, 4, 0.05, 16);
+    let pool = Pool::new(4);
+    pool::with_pool(&pool, || {
+        trace::perf::time_median(reps, || {
+            let mut algorithm = Taco::new(CLIENTS, TacoConfig::paper_default(ROUNDS, 4));
+            let mut backend = choice.build();
+            let mut global = vec![0.1f32; DIM];
+            for (round, updates) in per_round.iter().enumerate() {
+                algorithm.begin_round(round, &global);
+                backend.begin_round(round, &global, &algorithm);
+                for u in updates {
+                    backend.accept_update(u.clone());
+                }
+                let agg = backend.finish_round(&global, &hyper, &mut algorithm);
+                global = agg.next_global.expect("round had uploads");
+            }
+            std::hint::black_box(&global);
+        })
+    }) * 1e3
+}
+
+/// Median wall-ms of a full TACO run (6 rounds) on the adult workload
+/// with parallel clients on a 4-worker pool, per aggregation backend.
+/// The configuration is server-heavy relative to the main round metric
+/// (32 clients, 2 local steps) so aggregation is a visible slice; at
+/// this model size the backends are near-tied and the metric mostly
+/// guards against the sharded path regressing the round loop.
+fn backend_round_ms(choice: BackendChoice, reps: usize) -> f64 {
+    const T4_SCALE: Scale = Scale {
+        rounds: 6,
+        local_steps: 2,
+        train_n: 1600,
+        test_n: 200,
+        batch_size: 16,
+    };
+    const T4_CLIENTS: usize = 32;
+    let w = workload("adult", T4_CLIENTS, SUITE_SEED, T4_SCALE, None);
+    let pool = Pool::new(4);
+    pool::with_pool(&pool, || {
+        trace::perf::time_median(reps, || {
+            let alg = algorithm_by_name("TACO", T4_CLIENTS, T4_SCALE.rounds, T4_SCALE.local_steps);
+            std::hint::black_box(taco_bench::run_with_backend(
+                &w, alg, SUITE_SEED, None, false, choice,
+            ));
+        })
+    }) * 1e3
+}
+
 fn metric(
     name: &str,
     value: f64,
@@ -189,6 +272,35 @@ fn main() {
             false,
             false,
             0.0,
+        ));
+    }
+
+    let backends = [
+        ("sequential", BackendChoice::Sequential),
+        ("sharded", BackendChoice::Sharded { shards: 8 }),
+    ];
+    for (label, choice) in backends {
+        let agg_ms = shard_aggregate_ms(choice, reps);
+        println!("aggregate.TACO.{label:<11} {agg_ms:>9.2} ms (median of {reps}, t4)");
+        metrics.push(metric(
+            &format!("aggregate.TACO.{label}.wall_ms"),
+            agg_ms,
+            "ms",
+            false,
+            true,
+            5.0,
+        ));
+    }
+    for (label, choice) in backends {
+        let run_ms = backend_round_ms(choice, reps);
+        println!("round.TACO.{label}.t4 {run_ms:>9.2} ms (median of {reps})");
+        metrics.push(metric(
+            &format!("round.TACO.{label}.t4.wall_ms"),
+            run_ms,
+            "ms",
+            false,
+            true,
+            25.0,
         ));
     }
 

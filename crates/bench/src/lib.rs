@@ -25,7 +25,7 @@ use taco_core::{
 };
 use taco_data::{partition, tabular, text, vision, FederatedDataset};
 use taco_nn::{CharLstm, Mlp, Model, PaperCnn, TinyResNet};
-use taco_sim::{ClientBehavior, FaultPlan, History, SimConfig, Simulation};
+use taco_sim::{BackendChoice, ClientBehavior, FaultPlan, History, SimConfig, Simulation};
 use taco_tensor::Prng;
 use taco_trace::Value;
 
@@ -308,6 +308,40 @@ pub fn run(
     behaviors: Option<Vec<ClientBehavior>>,
     sequential: bool,
 ) -> History {
+    run_configured(w, algorithm, seed, behaviors, sequential, None, None)
+}
+
+/// [`run`] with an explicit aggregation backend, overriding the
+/// `TACO_BACKEND` environment default (backend-differential
+/// measurements must not depend on ambient env).
+pub fn run_with_backend(
+    w: &Workload,
+    algorithm: Box<dyn FederatedAlgorithm>,
+    seed: u64,
+    behaviors: Option<Vec<ClientBehavior>>,
+    sequential: bool,
+    backend: BackendChoice,
+) -> History {
+    run_configured(
+        w,
+        algorithm,
+        seed,
+        behaviors,
+        sequential,
+        None,
+        Some(backend),
+    )
+}
+
+fn run_configured(
+    w: &Workload,
+    algorithm: Box<dyn FederatedAlgorithm>,
+    seed: u64,
+    behaviors: Option<Vec<ClientBehavior>>,
+    sequential: bool,
+    fault_plan: Option<FaultPlan>,
+    backend: Option<BackendChoice>,
+) -> History {
     let algorithm_name = algorithm.name();
     let mut config = SimConfig::new(w.hyper, w.rounds, seed);
     if let Some(b) = behaviors {
@@ -315,6 +349,12 @@ pub fn run(
     }
     if sequential {
         config = config.sequential();
+    }
+    if let Some(plan) = fault_plan {
+        config = config.with_fault_plan(plan);
+    }
+    if let Some(backend) = backend {
+        config = config.with_backend(backend);
     }
     let started = Instant::now();
     let history = Simulation::new(w.fed.clone(), w.model.clone_model(), algorithm, config).run();
@@ -333,13 +373,19 @@ pub fn run_faulted(
     seed: u64,
     plan: FaultPlan,
 ) -> History {
-    let algorithm_name = algorithm.name();
-    let config = SimConfig::new(w.hyper, w.rounds, seed).with_fault_plan(plan);
-    let started = Instant::now();
-    let history = Simulation::new(w.fed.clone(), w.model.clone_model(), algorithm, config).run();
-    let wall_secs = started.elapsed().as_secs_f64();
-    record_run(w, algorithm_name, seed, false, wall_secs, &history);
-    history
+    run_configured(w, algorithm, seed, None, false, Some(plan), None)
+}
+
+/// [`run_faulted`] with an explicit aggregation backend (see
+/// [`run_with_backend`]).
+pub fn run_faulted_with_backend(
+    w: &Workload,
+    algorithm: Box<dyn FederatedAlgorithm>,
+    seed: u64,
+    plan: FaultPlan,
+    backend: BackendChoice,
+) -> History {
+    run_configured(w, algorithm, seed, None, false, Some(plan), Some(backend))
 }
 
 // --- Run manifests -------------------------------------------------

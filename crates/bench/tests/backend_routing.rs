@@ -1,0 +1,110 @@
+//! Guards the bench entry points' backend routing: `run_with_backend`
+//! / `run_faulted_with_backend` select the aggregation backend
+//! explicitly, and an inert single-shard [`taco_sim::ShardedBackend`]
+//! is indistinguishable — bit for bit, fault counters included — from
+//! the sequential reference, so the bench binaries measure the same
+//! trajectory whichever backend `TACO_BACKEND` picks.
+
+use taco_bench::{algorithm_by_name, run_faulted_with_backend, run_with_backend, workload, Scale};
+use taco_core::taco::TacoConfig;
+use taco_core::Taco;
+use taco_sim::{BackendChoice, FaultPlan, History};
+
+const SCALE: Scale = Scale {
+    rounds: 5,
+    local_steps: 4,
+    train_n: 400,
+    test_n: 120,
+    batch_size: 16,
+};
+const CLIENTS: usize = 10;
+const SEED: u64 = 91;
+
+/// Every deterministic field of the two histories must match exactly;
+/// only wall-clock timings are exempt.
+fn assert_histories_identical(a: &History, b: &History, what: &str) {
+    assert_eq!(a.algorithm, b.algorithm, "{what}: algorithm name");
+    assert_eq!(a.rounds.len(), b.rounds.len(), "{what}: round count");
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        let r = ra.round;
+        assert_eq!(
+            ra.test_accuracy.to_bits(),
+            rb.test_accuracy.to_bits(),
+            "{what}: test_accuracy @ round {r}"
+        );
+        assert_eq!(
+            ra.test_loss.to_bits(),
+            rb.test_loss.to_bits(),
+            "{what}: test_loss @ round {r}"
+        );
+        assert_eq!(
+            ra.train_loss.to_bits(),
+            rb.train_loss.to_bits(),
+            "{what}: train_loss @ round {r}"
+        );
+        assert_eq!(ra.alphas, rb.alphas, "{what}: alphas @ round {r}");
+        assert_eq!(ra.expelled, rb.expelled, "{what}: expelled @ round {r}");
+        assert_eq!(
+            ra.upload_bytes, rb.upload_bytes,
+            "{what}: upload_bytes @ round {r}"
+        );
+        assert_eq!(
+            ra.faults_injected, rb.faults_injected,
+            "{what}: faults_injected @ round {r}"
+        );
+        assert_eq!(
+            ra.updates_rejected, rb.updates_rejected,
+            "{what}: updates_rejected @ round {r}"
+        );
+    }
+    assert_eq!(
+        a.expelled_clients, b.expelled_clients,
+        "{what}: expulsion sequence"
+    );
+}
+
+#[test]
+fn inert_single_shard_backend_matches_sequential_reference() {
+    let w = workload("adult", CLIENTS, SEED, SCALE, None);
+    let fedavg = || algorithm_by_name("FedAvg", CLIENTS, SCALE.rounds, SCALE.local_steps);
+    let seq = run_with_backend(&w, fedavg(), SEED, None, false, BackendChoice::Sequential);
+    let one = run_with_backend(
+        &w,
+        fedavg(),
+        SEED,
+        None,
+        false,
+        BackendChoice::Sharded { shards: 1 },
+    );
+    assert_histories_identical(&seq, &one, "FedAvg sharded(1)");
+}
+
+#[test]
+fn faulted_runs_are_backend_invariant_including_quarantine_strikes() {
+    let w = workload("adult", CLIENTS, SEED, SCALE, None);
+    // Corruption + quarantine exercises `report_invalid_update`
+    // through the backend, and detection-enabled TACO turns those
+    // reports into strikes/expulsions — the full fault interaction.
+    let plan = || {
+        FaultPlan::new()
+            .with_dropouts(0.1)
+            .with_corruption(0.2, 1e9)
+            .with_max_delta_norm(1e4)
+    };
+    let taco = || {
+        Box::new(Taco::new(
+            CLIENTS,
+            TacoConfig::paper_default(SCALE.rounds, SCALE.local_steps).with_detection(0.6, 1),
+        ))
+    };
+    let seq = run_faulted_with_backend(&w, taco(), SEED, plan(), BackendChoice::Sequential);
+    assert!(
+        seq.rounds.iter().any(|r| r.updates_rejected > 0),
+        "fault plan must actually reject uploads for this test to bite"
+    );
+    for shards in [1usize, 8] {
+        let sharded =
+            run_faulted_with_backend(&w, taco(), SEED, plan(), BackendChoice::Sharded { shards });
+        assert_histories_identical(&seq, &sharded, &format!("TACO faulted sharded({shards})"));
+    }
+}

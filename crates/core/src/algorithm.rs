@@ -13,6 +13,100 @@ pub enum AggWeighting {
     DataSize,
 }
 
+/// Server-side statistics of a round's accepted uploads, computed once
+/// and shared between the coefficient math (Eq. 7) and any diagnostics.
+///
+/// The fields are defined *operationally* — each one names the exact
+/// `taco_tensor::ops` call that produces it — because aggregation
+/// backends may compute them with different parallel decompositions
+/// (dimension-sharded mean, client-parallel norms/cosines) and the
+/// bit-identity contract between backends holds only if every path
+/// reproduces these operations exactly. [`UploadStats::compute`] is the
+/// sequential reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UploadStats {
+    /// The unweighted mean delta `Δ̄` — `taco_tensor::ops::mean_of`
+    /// over the uploads' deltas in client order.
+    pub mean_delta: Vec<f32>,
+    /// Per-upload L2 norms `‖Δ_i‖` — `taco_tensor::ops::norm`, one
+    /// whole-vector reduction per upload, in client order.
+    pub norms: Vec<f32>,
+    /// Per-upload cosines `cos(Δ_i, Δ̄)` —
+    /// `taco_tensor::ops::cosine_similarity` against `mean_delta`.
+    pub cosines: Vec<f32>,
+}
+
+impl UploadStats {
+    /// Computes the statistics sequentially (the reference
+    /// implementation every backend must match bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas` is empty or lengths are inconsistent.
+    pub fn compute(deltas: &[&[f32]]) -> Self {
+        let mean_delta = taco_tensor::ops::mean_of(deltas);
+        let norms: Vec<f32> = deltas.iter().map(|d| taco_tensor::ops::norm(d)).collect();
+        // `cosine_with_norms` reuses the norms already in hand (and the
+        // mean's norm, computed once) — bit-identical to
+        // `cosine_similarity(d, mean_delta)` per upload, minus two
+        // redundant whole-vector passes per upload.
+        let mean_norm = taco_tensor::ops::norm(&mean_delta);
+        let cosines: Vec<f32> = deltas
+            .iter()
+            .zip(&norms)
+            .map(|(d, &n)| taco_tensor::ops::cosine_with_norms(d, &mean_delta, n, mean_norm))
+            .collect();
+        UploadStats {
+            mean_delta,
+            norms,
+            cosines,
+        }
+    }
+}
+
+/// A declarative aggregation plan: how this round's deltas combine into
+/// the gradient step. Produced by
+/// [`FederatedAlgorithm::plan_aggregation`]; executed by
+/// [`combine_weighted`] (sequentially) or shard-wise by a sharded
+/// backend — both must yield bit-identical results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedCombine {
+    /// Aggregation weights `p_i`, one per accepted upload in client
+    /// order. Must sum to a positive finite value.
+    pub weights: Vec<f32>,
+    /// Optional in-place scale applied to the weighted mean *before*
+    /// the step (TACO's `1 / (K·η_l)` normalization). `None` skips the
+    /// pass entirely — `Some(1.0)` would still be bit-identical, but
+    /// the plan mirrors the sequential code path op for op.
+    pub pre_scale: Option<f32>,
+    /// Coefficient of the final `w_{t+1} = w_t + step_scale · Δ` AXPY
+    /// (negative for descent).
+    pub step_scale: f32,
+}
+
+/// Executes a [`WeightedCombine`] plan sequentially: weighted mean →
+/// optional pre-scale → AXPY step. Returns `(combined, next_global)`
+/// where `combined` is the post-scale aggregate (what TACO stores as
+/// `Δ_{t+1}`) and `next_global` the stepped parameters.
+///
+/// # Panics
+///
+/// Panics if `deltas` is empty, lengths are inconsistent, or the plan's
+/// weights do not sum to a positive finite value.
+pub fn combine_weighted(
+    global: &[f32],
+    deltas: &[&[f32]],
+    plan: &WeightedCombine,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut combined = taco_tensor::ops::weighted_mean(deltas, &plan.weights);
+    if let Some(s) = plan.pre_scale {
+        taco_tensor::ops::scale(&mut combined, s);
+    }
+    let mut next = global.to_vec();
+    taco_tensor::ops::axpy(&mut next, plan.step_scale, &combined);
+    (combined, next)
+}
+
 /// Static per-step compute profile of an algorithm, used by the
 /// simulator's analytic cost model (Table I / Table III / Fig. 5
 /// report the *measured* numbers; the profile lets the harness verify
@@ -59,6 +153,42 @@ pub trait FederatedAlgorithm: Send {
         updates: &[ClientUpdate],
         hyper: &HyperParams,
     ) -> Vec<f32>;
+
+    /// Whether [`FederatedAlgorithm::plan_aggregation`] needs
+    /// [`UploadStats`] for this algorithm (TACO's Eq. 7 coefficients
+    /// do; FedAvg's data-size weights do not). Backends that compute
+    /// statistics incrementally use this to skip the work entirely.
+    fn wants_upload_stats(&self) -> bool {
+        false
+    }
+
+    /// Decomposes this round's aggregation into a declarative
+    /// [`WeightedCombine`] plan, advancing any cross-round state
+    /// (coefficients, strikes, histories) exactly as
+    /// [`FederatedAlgorithm::aggregate`] would. Backends that execute
+    /// the combine themselves (shard-wise, out of order in memory but
+    /// order-fixed per dimension) call this instead of `aggregate`,
+    /// then [`FederatedAlgorithm::commit_aggregation`] with the result.
+    ///
+    /// `stats` is `Some` iff [`FederatedAlgorithm::wants_upload_stats`]
+    /// returned `true`. The default returns `None`, meaning the
+    /// algorithm does not support planned aggregation and backends must
+    /// fall back to calling [`FederatedAlgorithm::aggregate`].
+    fn plan_aggregation(
+        &mut self,
+        _global: &[f32],
+        _updates: &[ClientUpdate],
+        _stats: Option<&UploadStats>,
+        _hyper: &HyperParams,
+    ) -> Option<WeightedCombine> {
+        None
+    }
+
+    /// Called after a planned combine has been executed, with the
+    /// post-`pre_scale` aggregate (`combined`), so the algorithm can
+    /// store it (TACO keeps it as `Δ_{t+1}` for next round's
+    /// correction terms). Default: no-op.
+    fn commit_aggregation(&mut self, _global: &[f32], _combined: &[f32]) {}
 
     /// The parameters to evaluate/report (TACO reports `z_t`, Eq. 15;
     /// everyone else reports `w_t`).
@@ -115,16 +245,27 @@ pub fn fedavg_step(
     weighting: AggWeighting,
 ) -> Vec<f32> {
     assert!(!updates.is_empty(), "aggregate with no updates");
+    let plan = fedavg_plan(updates, hyper, weighting);
+    let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
+    combine_weighted(global, &deltas, &plan).1
+}
+
+/// The [`WeightedCombine`] plan behind [`fedavg_step`]: `p_i` per the
+/// weighting rule, no pre-scale, step `−(η_g / (K·η_l))`.
+pub fn fedavg_plan(
+    updates: &[ClientUpdate],
+    hyper: &HyperParams,
+    weighting: AggWeighting,
+) -> WeightedCombine {
     let weights: Vec<f32> = match weighting {
         AggWeighting::Uniform => vec![1.0; updates.len()],
         AggWeighting::DataSize => updates.iter().map(|u| u.num_samples as f32).collect(),
     };
-    let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
-    let mean = taco_tensor::ops::weighted_mean(&deltas, &weights);
-    let scale = hyper.eta_g / hyper.k_eta_l();
-    let mut next = global.to_vec();
-    taco_tensor::ops::axpy(&mut next, -scale, &mean);
-    next
+    WeightedCombine {
+        weights,
+        pre_scale: None,
+        step_scale: -(hyper.eta_g / hyper.k_eta_l()),
+    }
 }
 
 #[cfg(test)]

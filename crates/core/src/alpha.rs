@@ -47,18 +47,38 @@ pub fn correction_coefficients_variant(deltas: &[&[f32]], variant: AlphaVariant)
     }
     let mean = ops::mean_of(deltas);
     let norms: Vec<f32> = deltas.iter().map(|d| ops::norm(d)).collect();
-    let norm_sum = ops::sum(&norms);
-    let n = deltas.len() as f32;
-    deltas
+    let cosines: Vec<f32> = deltas
         .iter()
-        .zip(&norms)
-        .map(|(d, &nm)| {
+        .map(|d| ops::cosine_similarity(d, &mean))
+        .collect();
+    coefficients_from_stats(&norms, &cosines, variant)
+}
+
+/// Eq. 7 from precomputed per-upload statistics: the norm `‖Δ_i‖` and
+/// the cosine `cos(Δ_i, Δ̄)` of every delta against the unweighted
+/// mean. This is the scalar half of
+/// [`correction_coefficients_variant`] — aggregation backends that
+/// already hold the statistics (e.g. [`crate::UploadStats`]) call it
+/// directly, and both paths are bit-identical because each output
+/// depends only on its own norm/cosine and the order-fixed `norm_sum`.
+///
+/// # Panics
+///
+/// Panics if `norms` is empty or the slices differ in length.
+pub fn coefficients_from_stats(norms: &[f32], cosines: &[f32], variant: AlphaVariant) -> Vec<f32> {
+    assert!(!norms.is_empty(), "no deltas to compute alpha from");
+    assert_eq!(norms.len(), cosines.len(), "stats length mismatch");
+    let norm_sum = ops::sum(norms);
+    let n = norms.len() as f32;
+    norms
+        .iter()
+        .zip(cosines)
+        .map(|(&nm, &cos)| {
             let magnitude = match variant {
                 AlphaVariant::NoMagnitude => 1.0 - 1.0 / n,
                 _ if norm_sum > 1e-12 => (1.0 - nm / norm_sum).clamp(0.0, 1.0),
                 _ => 0.0,
             };
-            let cos = ops::cosine_similarity(d, &mean);
             let direction = match variant {
                 AlphaVariant::SignedCosine => cos,
                 AlphaVariant::NoDirection => 1.0,

@@ -1,6 +1,9 @@
 //! FedAvg (McMahan et al.) — the uncorrected baseline.
 
-use crate::algorithm::{fedavg_step, AggWeighting, CostProfile, FederatedAlgorithm};
+use crate::algorithm::{
+    fedavg_plan, fedavg_step, AggWeighting, CostProfile, FederatedAlgorithm, UploadStats,
+    WeightedCombine,
+};
 use crate::hyper::HyperParams;
 use crate::update::{ClientUpdate, LocalRule};
 
@@ -48,6 +51,16 @@ impl FederatedAlgorithm for FedAvg {
         hyper: &HyperParams,
     ) -> Vec<f32> {
         fedavg_step(global, updates, hyper, self.weighting)
+    }
+
+    fn plan_aggregation(
+        &mut self,
+        _global: &[f32],
+        updates: &[ClientUpdate],
+        _stats: Option<&UploadStats>,
+        hyper: &HyperParams,
+    ) -> Option<WeightedCombine> {
+        Some(fedavg_plan(updates, hyper, self.weighting))
     }
 
     fn cost_profile(&self) -> CostProfile {

@@ -52,7 +52,9 @@ pub mod taco;
 pub mod tailored;
 pub mod update;
 
-pub use algorithm::{AggWeighting, CostProfile, FederatedAlgorithm};
+pub use algorithm::{
+    combine_weighted, AggWeighting, CostProfile, FederatedAlgorithm, UploadStats, WeightedCombine,
+};
 pub use fedacg::FedAcg;
 pub use fedavg::FedAvg;
 pub use feddyn::FedDyn;

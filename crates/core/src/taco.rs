@@ -17,7 +17,9 @@
 //! `Δ_i^t` the clients send anyway, which is why its per-round client
 //! overhead in Table III is "Low".
 
-use crate::algorithm::{CostProfile, FederatedAlgorithm};
+use crate::algorithm::{
+    combine_weighted, CostProfile, FederatedAlgorithm, UploadStats, WeightedCombine,
+};
 use crate::alpha;
 use crate::hyper::HyperParams;
 use crate::update::{ClientUpdate, LocalRule};
@@ -189,6 +191,62 @@ impl Taco {
             .unwrap_or(self.config.initial_alpha);
         alpha::extrapolated_output(global, &self.prev_global, avg)
     }
+
+    /// Advances the server state for one round (Eq. 7 coefficients,
+    /// Eq. 10 strikes, the α history, `w_{t−1}`) and returns the
+    /// Eq. 9 combine plan. Shared — statement for statement — by the
+    /// sequential [`FederatedAlgorithm::aggregate`] path and the
+    /// backend-facing [`FederatedAlgorithm::plan_aggregation`] hook,
+    /// which is what keeps the two bit-identical.
+    fn make_plan(
+        &mut self,
+        global: &[f32],
+        updates: &[ClientUpdate],
+        stats: &UploadStats,
+        hyper: &HyperParams,
+    ) -> WeightedCombine {
+        // Eq. 7: next-round coefficients from this round's uploads.
+        let new_alphas =
+            alpha::coefficients_from_stats(&stats.norms, &stats.cosines, self.config.alpha_variant);
+        for (u, &a) in updates.iter().zip(&new_alphas) {
+            self.alphas[u.client] = a;
+        }
+        // Eq. 10: strike clients at or above κ; expel past λ strikes.
+        if self.config.detect_freeloaders {
+            for (u, &a) in updates.iter().zip(&new_alphas) {
+                if a >= self.config.kappa {
+                    self.strikes[u.client] += 1;
+                    if self.strikes[u.client] > self.config.lambda {
+                        self.expelled[u.client] = true;
+                    }
+                }
+            }
+        }
+        // Eq. 9 (or the uniform-mean ablation).
+        let weights: Vec<f32> = if self.config.tailored_aggregation {
+            // Clamp for the SignedCosine ablation, whose alphas may be
+            // negative; Eq. 9's weights must stay non-negative.
+            let clamped: Vec<f32> = new_alphas.iter().map(|a| a.max(0.0)).collect();
+            let sum = ops::sum(&clamped);
+            if sum > 1e-9 {
+                clamped
+            } else {
+                // Degenerate round (all-zero alphas): fall back to the
+                // uniform mean rather than dividing by zero.
+                vec![1.0; updates.len()]
+            }
+        } else {
+            vec![1.0; updates.len()]
+        };
+        self.avg_alpha_history
+            .push(alpha::average_alpha(&new_alphas));
+        self.prev_global = global.to_vec();
+        WeightedCombine {
+            weights,
+            pre_scale: Some(1.0 / hyper.k_eta_l()),
+            step_scale: -hyper.eta_g,
+        }
+    }
 }
 
 impl FederatedAlgorithm for Taco {
@@ -222,48 +280,33 @@ impl FederatedAlgorithm for Taco {
     ) -> Vec<f32> {
         assert!(!updates.is_empty(), "aggregate with no updates");
         let _span = taco_trace::quiet_span!("core.aggregate.taco");
-        // Eq. 7: next-round coefficients from this round's uploads.
         let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
-        let new_alphas = alpha::correction_coefficients_variant(&deltas, self.config.alpha_variant);
-        for (u, &a) in updates.iter().zip(&new_alphas) {
-            self.alphas[u.client] = a;
-        }
-        // Eq. 10: strike clients at or above κ; expel past λ strikes.
-        if self.config.detect_freeloaders {
-            for (u, &a) in updates.iter().zip(&new_alphas) {
-                if a >= self.config.kappa {
-                    self.strikes[u.client] += 1;
-                    if self.strikes[u.client] > self.config.lambda {
-                        self.expelled[u.client] = true;
-                    }
-                }
-            }
-        }
-        // Eq. 9 (or the uniform-mean ablation).
-        let weights: Vec<f32> = if self.config.tailored_aggregation {
-            // Clamp for the SignedCosine ablation, whose alphas may be
-            // negative; Eq. 9's weights must stay non-negative.
-            let clamped: Vec<f32> = new_alphas.iter().map(|a| a.max(0.0)).collect();
-            let sum = ops::sum(&clamped);
-            if sum > 1e-9 {
-                clamped
-            } else {
-                // Degenerate round (all-zero alphas): fall back to the
-                // uniform mean rather than dividing by zero.
-                vec![1.0; updates.len()]
-            }
-        } else {
-            vec![1.0; updates.len()]
-        };
-        let mut agg = ops::weighted_mean(&deltas, &weights);
-        ops::scale(&mut agg, 1.0 / hyper.k_eta_l());
-        self.global_delta = agg.clone();
-        self.avg_alpha_history
-            .push(alpha::average_alpha(&new_alphas));
-        self.prev_global = global.to_vec();
-        let mut next = global.to_vec();
-        ops::axpy(&mut next, -hyper.eta_g, &agg);
+        let stats = UploadStats::compute(&deltas);
+        let plan = self.make_plan(global, updates, &stats, hyper);
+        let (combined, next) = combine_weighted(global, &deltas, &plan);
+        self.commit_aggregation(global, &combined);
         next
+    }
+
+    fn wants_upload_stats(&self) -> bool {
+        true
+    }
+
+    fn plan_aggregation(
+        &mut self,
+        global: &[f32],
+        updates: &[ClientUpdate],
+        stats: Option<&UploadStats>,
+        hyper: &HyperParams,
+    ) -> Option<WeightedCombine> {
+        let stats = stats?;
+        Some(self.make_plan(global, updates, stats, hyper))
+    }
+
+    fn commit_aggregation(&mut self, _global: &[f32], combined: &[f32]) {
+        // The post-scale aggregate is `Δ_{t+1}` — next round's
+        // correction term (Eq. 8) reads it from here.
+        self.global_delta = combined.to_vec();
     }
 
     fn output_params(&self, global: &[f32]) -> Vec<f32> {

@@ -1,0 +1,87 @@
+//! Client-side execution: deterministic per-client RNG derivation and
+//! local-step jobs run sequentially or on the shared worker pool.
+
+use taco_core::{update, ClientUpdate, HyperParams, LocalRule};
+use taco_data::FederatedDataset;
+use taco_nn::Model;
+use taco_tensor::Prng;
+use taco_trace as trace;
+
+/// One honest client's work order for a round.
+pub(crate) struct ClientJob {
+    pub(crate) client: usize,
+    pub(crate) rule: LocalRule,
+    pub(crate) num_samples: usize,
+    pub(crate) steps: usize,
+}
+
+/// Deterministic per-(round, client) RNG derivation: results never
+/// depend on thread scheduling.
+pub(crate) fn client_rng(seed: u64, round: usize, client: usize) -> Prng {
+    let mixed = seed
+        ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (client as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+    Prng::seed_from_u64(mixed)
+}
+
+/// Executes honest-client jobs, sequentially or on the shared worker
+/// pool ([`taco_tensor::pool`]). One job is one pool task; tensor
+/// kernels invoked inside a pooled job detect they're on a worker
+/// thread and run inline, so clients and kernels share the same
+/// `TACO_THREADS` budget instead of oversubscribing. With
+/// `TACO_THREADS=1` (or [`crate::SimConfig::sequential`]) everything
+/// runs on the caller; histories are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_jobs(
+    prototype: &dyn Model,
+    fed: &FederatedDataset,
+    global: &[f32],
+    jobs: Vec<ClientJob>,
+    round: usize,
+    hyper: &HyperParams,
+    seed: u64,
+    parallel: bool,
+) -> Vec<ClientUpdate> {
+    let run_one = move |job: &ClientJob| -> ClientUpdate {
+        let span = trace::span!(
+            "client_step",
+            round = round,
+            client = job.client,
+            steps = job.steps
+        );
+        let mut model = prototype.clone_model();
+        model.set_params(global);
+        let mut rng = client_rng(seed, round, job.client);
+        // Wall-clock time is read only through taco-trace spans
+        // (D2): the span both feeds the `client_compute.seconds`
+        // histogram and hands back the measured duration.
+        let compute_span = trace::Span::quiet(crate::phase::CLIENT_COMPUTE);
+        let outcome = update::run_local_steps(
+            &mut *model,
+            fed.client(job.client),
+            &job.rule,
+            job.steps,
+            hyper.eta_l,
+            hyper.batch_size,
+            &mut rng,
+        );
+        let elapsed = compute_span.finish();
+        let mut u = ClientUpdate::from_outcome(job.client, job.num_samples, outcome);
+        u.compute_seconds = elapsed;
+        drop(span);
+        u
+    };
+    if !parallel || jobs.len() <= 1 || taco_tensor::pool::threads() <= 1 {
+        return jobs.iter().map(run_one).collect();
+    }
+    let mut results: Vec<Option<ClientUpdate>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    taco_tensor::pool::for_each_chunk(&mut results, 1, |i, slot| {
+        slot[0] = Some(run_one(&jobs[i]));
+    });
+    results
+        .into_iter()
+        // taco-check: allow(unwrap, pool::for_each_chunk visits every chunk exactly once, so every slot was filled)
+        .map(|r| r.expect("client job not executed"))
+        .collect()
+}

@@ -6,7 +6,13 @@
 //! - [`runner`] — the [`runner::Simulation`] round loop with optional
 //!   parallel client execution (std scoped threads) and
 //!   deterministic per-client RNG streams, so results are independent
-//!   of thread scheduling.
+//!   of thread scheduling. Client-side job execution and the server's
+//!   upload pipeline live in private `client`/`server` modules.
+//! - [`backend`] — pluggable [`backend::AggregationBackend`]s: the
+//!   sequential reference and a lock-striped, double-buffered sharded
+//!   parameter-server backend, bit-identical at any shard or thread
+//!   count and selected via `TACO_BACKEND`/`TACO_SHARDS` (or
+//!   [`runner::SimConfig::with_backend`]).
 //! - [`freeloader`] — client behaviours: honest clients train; lazy
 //!   freeloaders (Section IV-A) re-upload the previous global update
 //!   without training.
@@ -47,6 +53,8 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
+mod client;
 pub mod comm;
 pub mod cost;
 pub mod detection;
@@ -55,7 +63,11 @@ pub mod freeloader;
 pub mod metrics;
 pub mod phase;
 pub mod runner;
+mod server;
 
+pub use backend::{
+    AggregationBackend, BackendChoice, RoundAggregate, SequentialBackend, ShardedBackend,
+};
 pub use fault::{Corruption, Deadline, FaultKind, FaultPlan, RejectReason, ValidationPolicy};
 pub use freeloader::ClientBehavior;
 pub use metrics::{History, RoundRecord};

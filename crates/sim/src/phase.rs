@@ -18,18 +18,23 @@ pub const LOCAL: &str = "sim.phase.local";
 pub const COMPRESS: &str = "sim.phase.compress";
 /// Server-side aggregation.
 pub const AGGREGATE: &str = "sim.phase.aggregate";
+/// Shard accumulation/merge work inside the sharded backend (per
+/// accepted upload while accumulating, and once inside [`AGGREGATE`]
+/// for the frozen-table merge). Zero on the sequential backend.
+pub const SHARD_MERGE: &str = "sim.phase.shard_merge";
 /// Global-model evaluation.
 pub const EVAL: &str = "sim.phase.eval";
 /// One client's local computation (per-client, inside [`LOCAL`]).
 pub const CLIENT_COMPUTE: &str = "client_compute";
 
 /// Every phase name, outermost first.
-pub const ALL: [&str; 7] = [
+pub const ALL: [&str; 8] = [
     ROUND,
     PARTICIPATION,
     LOCAL,
     COMPRESS,
     AGGREGATE,
+    SHARD_MERGE,
     EVAL,
     CLIENT_COMPUTE,
 ];

@@ -1,14 +1,16 @@
 //! The parameter-server round loop.
 
+use crate::backend::{AggregationBackend, BackendChoice};
+use crate::client::{self, ClientJob};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::freeloader::ClientBehavior;
 use crate::metrics::{History, RoundRecord};
 use std::sync::Arc;
 use taco_core::compress::Compressor;
-use taco_core::{update, ClientUpdate, FederatedAlgorithm, HyperParams, LocalRule};
+use taco_core::{ClientUpdate, FederatedAlgorithm, HyperParams};
 use taco_data::FederatedDataset;
 use taco_nn::{Batch, Model};
-use taco_tensor::{ops, Prng};
+use taco_tensor::ops;
 use taco_trace as trace;
 
 /// Which clients take part in each round.
@@ -64,6 +66,11 @@ pub struct SimConfig {
     /// `None` disables the subsystem entirely — trajectories are
     /// bit-identical to a plan-free run.
     pub fault_plan: Option<FaultPlan>,
+    /// Which aggregation backend executes the server side of each
+    /// round. Defaults from the `TACO_BACKEND`/`TACO_SHARDS`
+    /// environment ([`BackendChoice::from_env`]); both backends are
+    /// bit-identical, so this only affects wall-clock.
+    pub backend: BackendChoice,
 }
 
 impl SimConfig {
@@ -83,7 +90,15 @@ impl SimConfig {
             local_steps_per_client: None,
             upload_compressor: None,
             fault_plan: None,
+            backend: BackendChoice::from_env(),
         }
+    }
+
+    /// Builder-style aggregation-backend override (wins over the
+    /// `TACO_BACKEND` environment default).
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Builder-style upload-compression override.
@@ -179,17 +194,9 @@ impl std::fmt::Debug for SimConfig {
                 &self.upload_compressor.as_ref().map(|c| c.name()),
             )
             .field("fault_plan", &self.fault_plan)
+            .field("backend", &self.backend)
             .finish()
     }
-}
-
-/// Deterministic per-(round, client) RNG derivation: results never
-/// depend on thread scheduling.
-fn client_rng(seed: u64, round: usize, client: usize) -> Prng {
-    let mixed = seed
-        ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15)
-        ^ (client as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
-    Prng::seed_from_u64(mixed)
 }
 
 /// A federated-learning simulation: one algorithm, one federation, one
@@ -198,15 +205,9 @@ pub struct Simulation {
     fed: FederatedDataset,
     prototype: Box<dyn Model>,
     algorithm: Box<dyn FederatedAlgorithm>,
+    backend: Box<dyn AggregationBackend>,
     config: SimConfig,
     eval_batches: Vec<Batch>,
-}
-
-struct ClientJob {
-    client: usize,
-    rule: LocalRule,
-    num_samples: usize,
-    steps: usize,
 }
 
 impl Simulation {
@@ -230,10 +231,12 @@ impl Simulation {
             config.hyper.num_clients
         );
         let eval_batches = fed.test().eval_batches(config.eval_batch);
+        let backend = config.backend.build();
         Simulation {
             fed,
             prototype,
             algorithm,
+            backend,
             config,
             eval_batches,
         }
@@ -258,6 +261,8 @@ impl Simulation {
             let round_span = trace::Span::quiet(crate::phase::ROUND);
             let draw_span = trace::Span::quiet(crate::phase::PARTICIPATION);
             self.algorithm.begin_round(round, &global);
+            self.backend
+                .begin_round(round, &global, self.algorithm.as_ref());
             let expelled: Vec<usize> = self.algorithm.expelled();
             let n = self.fed.num_clients();
             let mut expelled_mask = vec![false; n];
@@ -285,7 +290,7 @@ impl Simulation {
                 Participation::Sample { fraction } => {
                     let m = ((eligible.len() as f64 * fraction).ceil() as usize)
                         .clamp(1, eligible.len());
-                    let mut prng = client_rng(self.config.seed ^ 0x9A97, round, usize::MAX);
+                    let mut prng = client::client_rng(self.config.seed ^ 0x9A97, round, usize::MAX);
                     let chosen = prng.sample_indices(eligible.len(), m);
                     let mut v = vec![false; n];
                     for c in chosen {
@@ -374,104 +379,44 @@ impl Simulation {
             trace::counter("sim.clients_skipped").add(skipped);
             let participation_secs = draw_span.finish();
             let local_span = trace::Span::quiet(crate::phase::LOCAL);
-            let mut updates = self.execute_jobs(&global, jobs, round);
+            let mut updates = client::execute_jobs(
+                &*self.prototype,
+                &self.fed,
+                &global,
+                jobs,
+                round,
+                &hyper,
+                self.config.seed,
+                self.config.parallel,
+            );
             updates.append(&mut freeloader_updates);
             updates.sort_by_key(|u| u.client);
             let local_secs = local_span.finish();
-            // Straggler slowdown + the server's synchronous deadline.
-            // The deadline compares *simulated* time (steps ×
-            // seconds_per_step × slowdown) so that cuts are
-            // deterministic; the measured wall clock is only inflated
-            // for the timing metrics. Late uploads never arrive, so
-            // they cost no accounted bytes.
-            let mut updates_rejected = 0usize;
-            if let Some(plan) = &self.config.fault_plan {
-                for u in &mut updates {
-                    if let Some(FaultKind::Straggler { factor }) = fault_of[u.client] {
-                        u.compute_seconds *= factor;
-                    }
-                }
-                if let Some(deadline) = plan.deadline {
-                    updates.retain(|u| {
-                        let slowdown = match fault_of[u.client] {
-                            Some(FaultKind::Straggler { factor }) => factor,
-                            _ => 1.0,
-                        };
-                        if deadline.misses(u.steps, slowdown) {
-                            updates_rejected += 1;
-                            trace::counter("sim.faults.deadline_cut").incr();
-                            if trace::active() {
-                                trace::emit(
-                                    &trace::Event::new("fault")
-                                        .with("round", round)
-                                        .with("client", u.client)
-                                        .with("fault", "deadline_cut"),
-                                );
-                            }
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                }
-            }
-            // Lossy upload compression + byte accounting.
-            let compress_span = trace::Span::quiet(crate::phase::COMPRESS);
-            let upload_bytes: usize = match &self.config.upload_compressor {
-                Some(c) => {
-                    let mut bytes = 0;
-                    for u in &mut updates {
-                        u.delta = c.roundtrip(&u.delta);
-                        bytes += c.payload_bytes(u.delta.len());
-                    }
-                    bytes
-                }
-                None => updates.iter().map(|u| u.delta.len() * 4).sum(),
-            };
-            let compress_secs = compress_span.finish();
-            trace::counter("sim.upload_bytes").add(upload_bytes as u64);
-            // Wire corruption happens after compression (the payload
-            // is damaged in transit), then the server quarantines
-            // anything non-finite or norm-exploded before aggregation
-            // and reports the offender to the algorithm's
-            // freeloader-detection machinery. Quarantined uploads did
-            // arrive, so their bytes stay counted.
-            if let Some(plan) = &self.config.fault_plan {
-                for u in &mut updates {
-                    if let Some(FaultKind::Corrupt(corruption)) = fault_of[u.client] {
-                        crate::fault::apply_corruption(&mut u.delta, corruption);
-                    }
-                }
-                let algorithm = &mut self.algorithm;
-                updates.retain(|u| match plan.validation.validate(u) {
-                    Ok(()) => true,
-                    Err(reason) => {
-                        updates_rejected += 1;
-                        trace::counter("sim.faults.rejected").incr();
-                        algorithm.report_invalid_update(u.client);
-                        if trace::active() {
-                            trace::emit(
-                                &trace::Event::new("fault")
-                                    .with("round", round)
-                                    .with("client", u.client)
-                                    .with("fault", "quarantine")
-                                    .with("reason", reason.label()),
-                            );
-                        }
-                        false
-                    }
-                });
-            }
+            // The server pipeline (stragglers, deadline, compression,
+            // corruption, validation) hands every survivor to the
+            // aggregation backend in client order; see
+            // [`crate::server`].
+            let outcome = crate::server::process_uploads(
+                &self.config,
+                &fault_of,
+                round,
+                updates,
+                self.algorithm.as_mut(),
+                self.backend.as_mut(),
+            );
+            let upload_bytes = outcome.upload_bytes;
+            let updates_rejected = outcome.updates_rejected;
+            let compress_secs = outcome.compress_secs;
             // Aggregate and advance. A round with no surviving
             // updates (all sampled clients dropped, cut, or
             // quarantined) holds the global model and is still
             // recorded, so the trajectory keeps its round indexing.
             let aggregate_span = trace::Span::quiet(crate::phase::AGGREGATE);
-            let next = if updates.is_empty() {
-                global.clone()
-            } else {
-                self.algorithm.aggregate(&global, &updates, &hyper)
-            };
+            let agg = self
+                .backend
+                .finish_round(&global, &hyper, self.algorithm.as_mut());
+            let updates = agg.updates;
+            let next = agg.next_global.unwrap_or_else(|| global.clone());
             let aggregate_secs = aggregate_span.finish();
             prev_global = global;
             global = next;
@@ -568,75 +513,15 @@ impl Simulation {
         history.expelled_clients = self.algorithm.expelled();
         history
     }
-
-    /// Executes honest-client jobs, sequentially or on the shared
-    /// worker pool ([`taco_tensor::pool`]). One job is one pool task;
-    /// tensor kernels invoked inside a pooled job detect they're on a
-    /// worker thread and run inline, so clients and kernels share the
-    /// same `TACO_THREADS` budget instead of oversubscribing. With
-    /// `TACO_THREADS=1` (or [`SimConfig::sequential`]) everything runs
-    /// on the caller; histories are bit-identical either way.
-    fn execute_jobs(
-        &self,
-        global: &[f32],
-        jobs: Vec<ClientJob>,
-        round: usize,
-    ) -> Vec<ClientUpdate> {
-        let hyper = self.config.hyper;
-        let seed = self.config.seed;
-        let prototype = &self.prototype;
-        let fed = &self.fed;
-        let run_one = move |job: &ClientJob| -> ClientUpdate {
-            let span = trace::span!(
-                "client_step",
-                round = round,
-                client = job.client,
-                steps = job.steps
-            );
-            let mut model = prototype.clone_model();
-            model.set_params(global);
-            let mut rng = client_rng(seed, round, job.client);
-            // Wall-clock time is read only through taco-trace spans
-            // (D2): the span both feeds the `client_compute.seconds`
-            // histogram and hands back the measured duration.
-            let compute_span = trace::Span::quiet(crate::phase::CLIENT_COMPUTE);
-            let outcome = update::run_local_steps(
-                &mut *model,
-                fed.client(job.client),
-                &job.rule,
-                job.steps,
-                hyper.eta_l,
-                hyper.batch_size,
-                &mut rng,
-            );
-            let elapsed = compute_span.finish();
-            let mut u = ClientUpdate::from_outcome(job.client, job.num_samples, outcome);
-            u.compute_seconds = elapsed;
-            drop(span);
-            u
-        };
-        if !self.config.parallel || jobs.len() <= 1 || taco_tensor::pool::threads() <= 1 {
-            return jobs.iter().map(run_one).collect();
-        }
-        let mut results: Vec<Option<ClientUpdate>> = Vec::new();
-        results.resize_with(jobs.len(), || None);
-        taco_tensor::pool::for_each_chunk(&mut results, 1, |i, slot| {
-            slot[0] = Some(run_one(&jobs[i]));
-        });
-        results
-            .into_iter()
-            // taco-check: allow(unwrap, pool::for_each_chunk visits every chunk exactly once, so every slot was filled)
-            .map(|r| r.expect("client job not executed"))
-            .collect()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taco_core::{AggWeighting, FedAvg, Taco};
+    use taco_core::{AggWeighting, FedAvg, LocalRule, Taco};
     use taco_data::{partition, tabular};
     use taco_nn::Mlp;
+    use taco_tensor::Prng;
 
     fn small_fed(clients: usize, seed: u64) -> FederatedDataset {
         let mut rng = Prng::seed_from_u64(seed);

@@ -1,0 +1,131 @@
+//! The server's upload pipeline: everything that happens between the
+//! clients' uploads leaving the devices and the aggregation backend
+//! accepting them — straggler slowdown, the synchronous deadline,
+//! lossy compression with byte accounting, wire corruption, and
+//! validation/quarantine.
+//!
+//! The pipeline runs strictly *before* the backend's `accept_update`
+//! (see [`crate::AggregationBackend`]), so backends may start
+//! accumulating eagerly: an upload that reaches `accept_update` is
+//! final for the round.
+
+use crate::backend::AggregationBackend;
+use crate::fault::FaultKind;
+use crate::runner::SimConfig;
+use taco_core::{ClientUpdate, FederatedAlgorithm};
+use taco_trace as trace;
+
+/// What the pipeline did to a round's uploads.
+pub(crate) struct UploadOutcome {
+    /// Accounted wire bytes for the uploads that arrived.
+    pub(crate) upload_bytes: usize,
+    /// Deadline cuts + quarantined uploads.
+    pub(crate) updates_rejected: usize,
+    /// Seconds spent in the compression phase span.
+    pub(crate) compress_secs: f64,
+}
+
+/// Runs the pipeline over this round's raw uploads (already sorted in
+/// client order) and hands each survivor to the backend; quarantined
+/// uploads are reported through the backend instead.
+pub(crate) fn process_uploads(
+    config: &SimConfig,
+    fault_of: &[Option<FaultKind>],
+    round: usize,
+    mut updates: Vec<ClientUpdate>,
+    algorithm: &mut dyn FederatedAlgorithm,
+    backend: &mut dyn AggregationBackend,
+) -> UploadOutcome {
+    // Straggler slowdown + the server's synchronous deadline. The
+    // deadline compares *simulated* time (steps × seconds_per_step ×
+    // slowdown) so that cuts are deterministic; the measured wall
+    // clock is only inflated for the timing metrics. Late uploads
+    // never arrive, so they cost no accounted bytes.
+    let mut updates_rejected = 0usize;
+    if let Some(plan) = &config.fault_plan {
+        for u in &mut updates {
+            if let Some(FaultKind::Straggler { factor }) = fault_of[u.client] {
+                u.compute_seconds *= factor;
+            }
+        }
+        if let Some(deadline) = plan.deadline {
+            updates.retain(|u| {
+                let slowdown = match fault_of[u.client] {
+                    Some(FaultKind::Straggler { factor }) => factor,
+                    _ => 1.0,
+                };
+                if deadline.misses(u.steps, slowdown) {
+                    updates_rejected += 1;
+                    trace::counter("sim.faults.deadline_cut").incr();
+                    if trace::active() {
+                        trace::emit(
+                            &trace::Event::new("fault")
+                                .with("round", round)
+                                .with("client", u.client)
+                                .with("fault", "deadline_cut"),
+                        );
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+    // Lossy upload compression + byte accounting.
+    let compress_span = trace::Span::quiet(crate::phase::COMPRESS);
+    let upload_bytes: usize = match &config.upload_compressor {
+        Some(c) => {
+            let mut bytes = 0;
+            for u in &mut updates {
+                u.delta = c.roundtrip(&u.delta);
+                bytes += c.payload_bytes(u.delta.len());
+            }
+            bytes
+        }
+        None => updates.iter().map(|u| u.delta.len() * 4).sum(),
+    };
+    let compress_secs = compress_span.finish();
+    trace::counter("sim.upload_bytes").add(upload_bytes as u64);
+    // Wire corruption happens after compression (the payload is
+    // damaged in transit), then the server quarantines anything
+    // non-finite or norm-exploded before the backend sees it and
+    // reports the offender to the algorithm's freeloader-detection
+    // machinery. Quarantined uploads did arrive, so their bytes stay
+    // counted.
+    if let Some(plan) = &config.fault_plan {
+        for u in &mut updates {
+            if let Some(FaultKind::Corrupt(corruption)) = fault_of[u.client] {
+                crate::fault::apply_corruption(&mut u.delta, corruption);
+            }
+        }
+        for u in updates {
+            match plan.validation.validate(&u) {
+                Ok(()) => backend.accept_update(u),
+                Err(reason) => {
+                    updates_rejected += 1;
+                    trace::counter("sim.faults.rejected").incr();
+                    if trace::active() {
+                        trace::emit(
+                            &trace::Event::new("fault")
+                                .with("round", round)
+                                .with("client", u.client)
+                                .with("fault", "quarantine")
+                                .with("reason", reason.label()),
+                        );
+                    }
+                    backend.report_invalid_update(u.client, algorithm);
+                }
+            }
+        }
+    } else {
+        for u in updates {
+            backend.accept_update(u);
+        }
+    }
+    UploadOutcome {
+        upload_bytes,
+        updates_rejected,
+        compress_secs,
+    }
+}

@@ -1,0 +1,400 @@
+//! Dimension-sharded `f64` accumulation for parameter-server backends.
+//!
+//! A parameter vector of `dim` elements is split into contiguous
+//! **shards** so that independent workers can accumulate client deltas
+//! into disjoint dimension ranges concurrently. Three pieces:
+//!
+//! - [`ShardSpec`]: the partition itself. Ranges are a pure function of
+//!   `(dim, shards)` — never of the worker count — and concatenating
+//!   them in shard order always reproduces `0..dim` exactly, so a
+//!   shard-merged vector is *bit-identical* to its unsharded
+//!   counterpart for any shard count.
+//! - [`StripedTable`]: one `f64` accumulator per shard behind its own
+//!   mutex (lock striping). `acc[j] += weight · value[j]` uses exactly
+//!   the widening arithmetic of [`crate::ops::weighted_mean`], and each
+//!   dimension's additions happen in caller order, so as long as
+//!   updates are applied in a fixed order per shard the merged result
+//!   matches the sequential fold bit for bit.
+//! - [`DoubleBuffered`]: the active/frozen table pair of the classic
+//!   parameter-server double-buffering scheme — writers accumulate into
+//!   the *active* table while the server reads the *frozen* one;
+//!   [`DoubleBuffered::flip`] swaps the roles and clears the new active
+//!   table for the next round.
+//!
+//! The chunk length is `ceil(dim / shards)`, the same partition rule as
+//! [`crate::pool::Pool::for_each_chunk`], so a shard maps one-to-one
+//! onto a pool chunk when both use the same counts.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Upper bound on configured shards (defensive clamp, mirroring the
+/// pool's `MAX_THREADS`).
+const MAX_SHARDS: usize = 4096;
+
+/// A contiguous, order-preserving partition of `0..dim` into shards.
+///
+/// Shard `s` owns `[s·chunk, min((s+1)·chunk, dim))` with
+/// `chunk = ceil(dim / shards)`. Trailing shards may be empty when
+/// `shards` exceeds `dim`; [`ShardSpec::num_shards`] counts only the
+/// non-empty ones, and iterating `0..num_shards()` visits every
+/// parameter index exactly once, in ascending order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    dim: usize,
+    chunk: usize,
+    shards: usize,
+}
+
+impl ShardSpec {
+    /// Creates a spec splitting `dim` elements into at most `shards`
+    /// contiguous ranges. `shards` is clamped to `[1, 4096]`.
+    pub fn new(dim: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        let chunk = dim.div_ceil(shards).max(1);
+        let shards = if dim == 0 { 0 } else { dim.div_ceil(chunk) };
+        ShardSpec { dim, chunk, shards }
+    }
+
+    /// Total number of parameter dimensions covered.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of non-empty shards. Zero only when `dim` is zero.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Elements per shard (the last shard may hold fewer).
+    pub fn chunk_len(&self) -> usize {
+        self.chunk
+    }
+
+    /// The dimension range owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_shards()`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        assert!(s < self.shards, "shard {s} out of {}", self.shards);
+        let start = s * self.chunk;
+        start..(start + self.chunk).min(self.dim)
+    }
+
+    /// The shard owning parameter index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim()`.
+    pub fn shard_of(&self, i: usize) -> usize {
+        assert!(i < self.dim, "index {i} out of {}", self.dim);
+        i / self.chunk
+    }
+}
+
+/// Lock-striped `f64` accumulator over a [`ShardSpec`] partition.
+///
+/// Each shard's accumulator sits behind its own mutex, so concurrent
+/// writers touching *different* shards never contend and writers
+/// touching the *same* shard serialize. Determinism is the caller's
+/// contract: apply updates to each shard in a fixed order (the backends
+/// iterate updates in client order within each shard task) and the
+/// per-dimension fold is identical to the sequential one.
+pub struct StripedTable {
+    spec: ShardSpec,
+    stripes: Vec<Mutex<Vec<f64>>>,
+}
+
+impl std::fmt::Debug for StripedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedTable")
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl StripedTable {
+    /// Creates a zeroed table for the given partition.
+    pub fn new(spec: ShardSpec) -> Self {
+        let stripes = (0..spec.num_shards())
+            .map(|s| Mutex::new(vec![0.0f64; spec.range(s).len()]))
+            .collect();
+        StripedTable { spec, stripes }
+    }
+
+    /// The partition this table accumulates over.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Zeroes every accumulator.
+    pub fn clear(&mut self) {
+        for stripe in &mut self.stripes {
+            for x in lock(stripe).iter_mut() {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Accumulates `weight · values[j]` into shard `s`'s range, with
+    /// the exact widening arithmetic of
+    /// [`crate::ops::weighted_mean`]'s inner loop
+    /// (`acc += weight as f64 * x as f64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != spec.dim()` or `s` is out of range.
+    pub fn accumulate_shard(&self, s: usize, weight: f32, values: &[f32]) {
+        assert_eq!(values.len(), self.spec.dim(), "value length mismatch");
+        let range = self.spec.range(s);
+        let mut acc = lock(&self.stripes[s]);
+        for (a, &x) in acc.iter_mut().zip(&values[range]) {
+            *a += weight as f64 * x as f64;
+        }
+    }
+
+    /// Accumulates `weight · values` into every shard, inline on the
+    /// caller.
+    pub fn accumulate(&self, weight: f32, values: &[f32]) {
+        for s in 0..self.spec.num_shards() {
+            self.accumulate_shard(s, weight, values);
+        }
+    }
+
+    /// Writes shard `s`'s merged value `(acc[j] / total) as f32` into
+    /// the matching range of `out` — the read-out arithmetic of
+    /// [`crate::ops::weighted_mean`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != spec.dim()` or `s` is out of range.
+    pub fn merge_shard_into(&self, s: usize, total: f64, out: &mut [f32]) {
+        assert_eq!(out.len(), self.spec.dim(), "output length mismatch");
+        let range = self.spec.range(s);
+        let acc = lock(&self.stripes[s]);
+        for (o, &a) in out[range].iter_mut().zip(acc.iter()) {
+            *o = (a / total) as f32;
+        }
+    }
+
+    /// Merges every shard in ascending shard order into a fresh vector
+    /// (the sequential reference for the pool-parallel read-out).
+    pub fn merged(&self, total: f64) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.spec.dim()];
+        for s in 0..self.spec.num_shards() {
+            self.merge_shard_into(s, total, &mut out);
+        }
+        out
+    }
+
+    /// A copy of shard `s`'s raw `f64` accumulator.
+    pub fn shard_sums(&self, s: usize) -> Vec<f64> {
+        lock(&self.stripes[s]).clone()
+    }
+}
+
+/// The active/frozen pair of [`StripedTable`]s used by sharded
+/// parameter-server backends (the `PSServer` double-buffer idiom):
+/// writers accumulate into [`DoubleBuffered::active`] while the server
+/// reads [`DoubleBuffered::frozen`]; [`DoubleBuffered::flip`] swaps the
+/// roles and clears the new active table.
+pub struct DoubleBuffered {
+    tables: [StripedTable; 2],
+    active: usize,
+}
+
+impl std::fmt::Debug for DoubleBuffered {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DoubleBuffered")
+            .field("spec", &self.tables[0].spec)
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+impl DoubleBuffered {
+    /// Creates a zeroed pair for the given partition.
+    pub fn new(spec: ShardSpec) -> Self {
+        DoubleBuffered {
+            tables: [StripedTable::new(spec), StripedTable::new(spec)],
+            active: 0,
+        }
+    }
+
+    /// The table writers accumulate into.
+    pub fn active(&self) -> &StripedTable {
+        &self.tables[self.active]
+    }
+
+    /// The table the server reads (last flipped-out sums).
+    pub fn frozen(&self) -> &StripedTable {
+        &self.tables[1 - self.active]
+    }
+
+    /// Swaps active/frozen and clears the new active table: the sums
+    /// accumulated so far become readable via [`Self::frozen`] while
+    /// new accumulation starts from zero.
+    pub fn flip(&mut self) {
+        self.active = 1 - self.active;
+        self.tables[self.active].clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::rng::Prng;
+
+    #[test]
+    fn every_index_lands_in_exactly_one_shard() {
+        for dim in [0usize, 1, 2, 7, 64, 257, 1003] {
+            for shards in [1usize, 2, 3, 5, 8, 16, 64, 4096] {
+                let spec = ShardSpec::new(dim, shards);
+                let mut hits = vec![0u32; dim];
+                for s in 0..spec.num_shards() {
+                    for i in spec.range(s) {
+                        hits[i] += 1;
+                        assert_eq!(spec.shard_of(i), s, "dim={dim} shards={shards} i={i}");
+                    }
+                }
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "dim={dim} shards={shards}: coverage {hits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_ascending_and_cover_ragged_shapes() {
+        // Ragged layer shapes: odd dims that do not divide evenly.
+        for dim in [1usize, 13, 97, 1003, 4099] {
+            for shards in [1usize, 3, 8, 11] {
+                let spec = ShardSpec::new(dim, shards);
+                let mut next = 0usize;
+                for s in 0..spec.num_shards() {
+                    let r = spec.range(s);
+                    assert_eq!(r.start, next, "gap before shard {s}");
+                    assert!(!r.is_empty(), "empty shard {s} for dim={dim}");
+                    next = r.end;
+                }
+                assert_eq!(next, dim, "shards do not cover dim={dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_order_is_stable_under_shard_count_changes() {
+        // Concatenating shard ranges in shard order must reproduce the
+        // identity permutation for *any* shard count — the fixed merge
+        // order the backends rely on.
+        let dim = 101;
+        let reference: Vec<usize> = (0..dim).collect();
+        for shards in [1usize, 2, 3, 8, 50, 101, 4096] {
+            let spec = ShardSpec::new(dim, shards);
+            let merged: Vec<usize> = (0..spec.num_shards()).flat_map(|s| spec.range(s)).collect();
+            assert_eq!(merged, reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_dims_never_yields_empty_ranges() {
+        let spec = ShardSpec::new(3, 4096);
+        assert_eq!(spec.num_shards(), 3);
+        assert_eq!(spec.chunk_len(), 1);
+        let spec = ShardSpec::new(0, 8);
+        assert_eq!(spec.num_shards(), 0);
+        assert_eq!(spec.dim(), 0);
+    }
+
+    #[test]
+    fn striped_accumulation_matches_weighted_mean_bitwise() {
+        let mut rng = Prng::seed_from_u64(7);
+        let dim = 103;
+        let vectors: Vec<Vec<f32>> = (0..5)
+            .map(|_| (0..dim).map(|_| rng.normal_f32() * 0.3).collect())
+            .collect();
+        let weights = [0.3f32, 1.7, 0.01, 2.5, 0.9];
+        let refs: Vec<&[f32]> = vectors.iter().map(Vec::as_slice).collect();
+        let reference = ops::weighted_mean(&refs, &weights);
+        let wf: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+        let total = ops::sum_f64(&wf);
+        for shards in [1usize, 3, 8, 64] {
+            let table = StripedTable::new(ShardSpec::new(dim, shards));
+            // Per shard, updates are applied in client order — the
+            // determinism contract.
+            for (v, &w) in vectors.iter().zip(&weights) {
+                table.accumulate(w, v);
+            }
+            let merged = table.merged(total);
+            assert_eq!(merged.len(), reference.len());
+            for (i, (a, b)) in merged.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "shards={shards} dim {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_zeroes_and_shard_sums_expose_raw_accumulators() {
+        let mut table = StripedTable::new(ShardSpec::new(4, 2));
+        table.accumulate(2.0, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(table.shard_sums(0), vec![2.0, 4.0]);
+        assert_eq!(table.shard_sums(1), vec![6.0, 8.0]);
+        table.clear();
+        assert_eq!(table.shard_sums(0), vec![0.0, 0.0]);
+        assert_eq!(table.shard_sums(1), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn double_buffer_flip_freezes_sums_and_clears_active() {
+        let mut pair = DoubleBuffered::new(ShardSpec::new(2, 1));
+        pair.active().accumulate(1.0, &[1.0, 2.0]);
+        pair.flip();
+        // The accumulated sums are now readable on the frozen side...
+        assert_eq!(pair.frozen().shard_sums(0), vec![1.0, 2.0]);
+        // ...while the active side starts clean for the next round.
+        assert_eq!(pair.active().shard_sums(0), vec![0.0, 0.0]);
+        pair.active().accumulate(1.0, &[10.0, 10.0]);
+        pair.flip();
+        assert_eq!(pair.frozen().shard_sums(0), vec![10.0, 10.0]);
+        assert_eq!(pair.active().shard_sums(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn concurrent_stripe_writers_do_not_lose_updates() {
+        // Parallelize over shards via the pool: each shard task applies
+        // every update in client order; the merged result must match
+        // the sequential fold bitwise whatever the thread count.
+        let mut rng = Prng::seed_from_u64(11);
+        let dim = 517;
+        let vectors: Vec<Vec<f32>> = (0..6)
+            .map(|_| (0..dim).map(|_| rng.normal_f32()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = vectors.iter().map(Vec::as_slice).collect();
+        let reference = ops::mean_of(&refs);
+        let pool = crate::pool::Pool::new(4);
+        let table = StripedTable::new(ShardSpec::new(dim, 8));
+        pool.for_each_index(table.spec().num_shards(), |s| {
+            for v in &vectors {
+                table.accumulate_shard(s, 1.0, v);
+            }
+        });
+        let merged = table.merged(vectors.len() as f64);
+        for (i, (a, b)) in merged.iter().zip(&reference).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "dim {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "value length mismatch")]
+    fn length_mismatch_panics() {
+        let table = StripedTable::new(ShardSpec::new(4, 2));
+        table.accumulate(1.0, &[1.0, 2.0]);
+    }
+}

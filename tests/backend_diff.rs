@@ -1,0 +1,164 @@
+//! Backend-equivalence differential suite (see `taco_sim::backend`).
+//!
+//! The sharded parameter-server backend carries a hard contract: at
+//! any shard count and any `TACO_THREADS`, every deterministic field
+//! of the round trajectory is **bit-identical** to the sequential
+//! reference. This suite enforces the contract differentially —
+//! sequential vs sharded across a shard × thread matrix, against the
+//! committed golden fixtures, and under fault injection where
+//! quarantine reports must produce the same strike/expulsion
+//! sequences — and writes a machine-readable report to
+//! `results/backend_diff_report.json` (archived by CI).
+//!
+//! Every run here pins its backend explicitly via
+//! [`SimConfig::with_backend`], so the comparisons are immune to the
+//! `TACO_BACKEND` environment matrix CI runs the rest of the tests
+//! under.
+
+mod common;
+
+use common::{
+    assert_values_close, check_against_golden, golden_run, history_value, mlp, tabular_fed,
+};
+use taco::core::taco::TacoConfig;
+use taco::core::{AggWeighting, FedAvg, FederatedAlgorithm, HyperParams, Scaffold, Taco};
+use taco::sim::{BackendChoice, FaultPlan, History, SimConfig, Simulation};
+use taco::tensor::pool::{self, Pool};
+use taco::trace::Value;
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+type AlgorithmMaker = fn() -> Box<dyn FederatedAlgorithm>;
+
+/// The three algorithm shapes the backends must agree on: a plain
+/// plan-based aggregator (FedAvg), the full TACO statistics pipeline
+/// (upload stats → α → weighted plan), and a plan-less algorithm
+/// (SCAFFOLD) that exercises the sharded backend's sequential
+/// fallback.
+fn algorithms() -> Vec<(&'static str, AlgorithmMaker)> {
+    vec![
+        ("FedAvg", || Box::new(FedAvg::new(AggWeighting::Uniform))),
+        ("TACO", || {
+            Box::new(Taco::new(4, TacoConfig::paper_default(8, 6)))
+        }),
+        ("Scaffold", || Box::new(Scaffold::new(4, 1.0))),
+    ]
+}
+
+#[test]
+fn trajectories_are_bit_identical_across_the_shard_thread_matrix() {
+    let mut rows = Vec::new();
+    for (name, make) in algorithms() {
+        let reference = golden_run(make(), false, Some(BackendChoice::Sequential));
+        let reference_value = history_value(&reference);
+        for shards in SHARD_COUNTS {
+            for threads in THREAD_COUNTS {
+                let pool = Pool::new(threads);
+                let got = pool::with_pool(&pool, || {
+                    golden_run(make(), true, Some(BackendChoice::Sharded { shards }))
+                });
+                let label = format!("{name}.shards{shards}.t{threads}");
+                assert_values_close(&reference_value, &history_value(&got), 0.0, &label);
+                rows.push(Value::object(vec![
+                    ("algorithm".to_string(), Value::from(name)),
+                    ("shards".to_string(), Value::from(shards)),
+                    ("threads".to_string(), Value::from(threads)),
+                    ("rounds".to_string(), Value::from(got.rounds.len())),
+                    ("bit_identical".to_string(), Value::Bool(true)),
+                ]));
+            }
+        }
+    }
+    let report = Value::object(vec![
+        ("suite".to_string(), Value::from("backend_diff")),
+        ("reference".to_string(), Value::from("sequential")),
+        ("comparisons".to_string(), Value::Array(rows)),
+    ]);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(
+        dir.join("backend_diff_report.json"),
+        report.to_json() + "\n",
+    )
+    .expect("write backend diff report");
+}
+
+#[test]
+fn sharded_runs_match_the_committed_golden_fixtures() {
+    // The goldens were recorded on the sequential path; the sharded
+    // backend must reproduce the committed files exactly — shard-count
+    // equivalence is not just internal consistency but agreement with
+    // the frozen trajectory.
+    let h = golden_run(
+        Box::new(FedAvg::new(AggWeighting::Uniform)),
+        false,
+        Some(BackendChoice::Sharded { shards: 8 }),
+    );
+    check_against_golden("golden_fedavg.json", &h);
+    let h = golden_run(
+        Box::new(Taco::new(4, TacoConfig::paper_default(8, 6))),
+        false,
+        Some(BackendChoice::Sharded { shards: 3 }),
+    );
+    check_against_golden("golden_taco.json", &h);
+}
+
+/// A faulted TACO run: corruption past the validation norm cap (so
+/// uploads are quarantined and reported through the backend), plus
+/// stragglers behind a synchronous deadline, with detection enabled so
+/// quarantine strikes can expel clients.
+fn faulted_run(backend: BackendChoice) -> History {
+    let clients = 6;
+    let fed = tabular_fed(clients, 13, 0.4);
+    let hyper = HyperParams::new(clients, 6, 0.05, 16);
+    let plan = FaultPlan::new()
+        .with_dropouts(0.1)
+        .with_corruption(0.2, 1e9)
+        .with_max_delta_norm(1e4)
+        .with_stragglers(0.2, 4.0)
+        .with_deadline(12.0, 1.0);
+    let config = SimConfig::new(hyper, 8, 13)
+        .with_fault_plan(plan)
+        .with_backend(backend);
+    let alg = Taco::new(
+        clients,
+        TacoConfig::paper_default(8, 6).with_detection(0.6, 1),
+    );
+    Simulation::new(fed, mlp(13), Box::new(alg), config).run()
+}
+
+#[test]
+fn fault_injection_interacts_identically_with_both_backends() {
+    let reference = faulted_run(BackendChoice::Sequential);
+    assert!(
+        reference.rounds.iter().any(|r| r.updates_rejected > 0),
+        "fault plan must reject uploads for this test to bite"
+    );
+    for shards in SHARD_COUNTS {
+        let got = faulted_run(BackendChoice::Sharded { shards });
+        assert_values_close(
+            &history_value(&reference),
+            &history_value(&got),
+            0.0,
+            &format!("faulted.shards{shards}"),
+        );
+        // Fault accounting and the strike/expulsion sequence are not
+        // part of history_value; compare them field by field.
+        for (ra, rb) in reference.rounds.iter().zip(&got.rounds) {
+            let r = ra.round;
+            assert_eq!(
+                ra.faults_injected, rb.faults_injected,
+                "shards{shards}: faults_injected @ round {r}"
+            );
+            assert_eq!(
+                ra.updates_rejected, rb.updates_rejected,
+                "shards{shards}: updates_rejected @ round {r}"
+            );
+        }
+        assert_eq!(
+            reference.expelled_clients, got.expelled_clients,
+            "shards{shards}: expulsion sequence"
+        );
+    }
+}

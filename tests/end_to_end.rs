@@ -2,28 +2,20 @@
 //! partitioning → model training → FL algorithms → simulation →
 //! metrics.
 
+mod common;
+
+use common::{
+    assert_values_close, check_against_golden, golden_run, history_value, mlp, tabular_fed,
+};
 use taco::core::taco::TacoConfig;
 use taco::core::{
     AggWeighting, FedAcg, FedAvg, FedProx, FederatedAlgorithm, FoolsGold, HyperParams, Scaffold,
     Stem, Taco,
 };
-use taco::data::{partition, tabular, vision, FederatedDataset};
-use taco::nn::{Mlp, Model, PaperCnn};
+use taco::data::{partition, vision, FederatedDataset};
+use taco::nn::PaperCnn;
 use taco::sim::{SimConfig, Simulation};
 use taco::tensor::Prng;
-
-fn tabular_fed(clients: usize, seed: u64, phi: f64) -> FederatedDataset {
-    let mut rng = Prng::seed_from_u64(seed);
-    let spec = tabular::TabularSpec::adult_like().with_sizes(400, 120);
-    let data = tabular::generate(&spec, &mut rng);
-    let shards = partition::dirichlet(data.train.labels(), clients, phi, &mut rng);
-    FederatedDataset::from_partition(data.train, data.test, &shards)
-}
-
-fn mlp(seed: u64) -> Box<dyn Model> {
-    let mut rng = Prng::seed_from_u64(seed);
-    Box::new(Mlp::new(14, &[16, 8], 2, &mut rng))
-}
 
 fn all_algorithms(clients: usize) -> Vec<Box<dyn FederatedAlgorithm>> {
     vec![
@@ -160,124 +152,20 @@ fn taco_alphas_stay_in_unit_interval_all_run() {
 
 // ---------------------------------------------------------------------------
 // Golden-trajectory regression: fixed-seed runs serialized round by
-// round and compared against checked-in fixtures. Any unintended change
-// to kernels, data generation, client scheduling, or aggregation shows
-// up as a trajectory diff here. Regenerate after an *intended* change
-// with `TACO_REGEN_GOLDEN=1 cargo test --test end_to_end golden`;
+// round and compared against checked-in fixtures (the harness lives in
+// `tests/common/mod.rs`, shared with the backend-differential suite).
+// Any unintended change to kernels, data generation, client
+// scheduling, or aggregation shows up as a trajectory diff here.
+// Regenerate after an *intended* change with
+// `TACO_REGEN_GOLDEN=1 cargo test --test end_to_end golden`;
 // `TACO_GOLDEN_TOL=<eps>` relaxes the comparison (useful on platforms
 // whose libm rounds transcendentals differently).
 
 use taco::tensor::pool::{self, Pool};
-use taco::trace::{json, Value};
-
-fn golden_run(alg: Box<dyn FederatedAlgorithm>, parallel: bool) -> taco::sim::History {
-    let clients = 4;
-    let fed = tabular_fed(clients, 11, 0.3);
-    let hyper = HyperParams::new(clients, 6, 0.05, 16);
-    let mut config = SimConfig::new(hyper, 8, 11);
-    config.parallel = parallel;
-    Simulation::new(fed, mlp(11), alg, config).run()
-}
-
-/// Serializes the deterministic parts of a history. Wall-clock fields
-/// (`max_client_seconds`, `total_client_seconds`) are excluded: they
-/// vary run to run by construction.
-fn history_value(h: &taco::sim::History) -> Value {
-    let rounds = h
-        .rounds
-        .iter()
-        .map(|r| {
-            Value::object(vec![
-                ("round".to_string(), Value::from(r.round)),
-                ("test_accuracy".to_string(), Value::from(r.test_accuracy)),
-                ("test_loss".to_string(), Value::from(r.test_loss)),
-                ("train_loss".to_string(), Value::from(r.train_loss)),
-                (
-                    "alphas".to_string(),
-                    r.alphas
-                        .as_ref()
-                        .map_or(Value::Null, |a| Value::array(a.iter().copied())),
-                ),
-                ("expelled".to_string(), Value::from(r.expelled)),
-                ("upload_bytes".to_string(), Value::from(r.upload_bytes)),
-            ])
-        })
-        .collect();
-    Value::object(vec![
-        ("algorithm".to_string(), Value::from(h.algorithm.clone())),
-        ("rounds".to_string(), Value::Array(rounds)),
-        (
-            "expelled_clients".to_string(),
-            Value::array(h.expelled_clients.iter().copied()),
-        ),
-    ])
-}
-
-/// Structural comparison with a numeric tolerance; `tol == 0.0` demands
-/// exact equality (floats round-trip through the JSON fixtures
-/// losslessly, so this is a bit-level check).
-fn assert_values_close(golden: &Value, got: &Value, tol: f64, path: &str) {
-    match (golden, got) {
-        (Value::Array(a), Value::Array(b)) => {
-            assert_eq!(
-                a.len(),
-                b.len(),
-                "{path}: {} vs {} entries",
-                a.len(),
-                b.len()
-            );
-            for (i, (x, y)) in a.iter().zip(b).enumerate() {
-                assert_values_close(x, y, tol, &format!("{path}[{i}]"));
-            }
-        }
-        (Value::Object(a), Value::Object(b)) => {
-            assert_eq!(a.len(), b.len(), "{path}: {} vs {} keys", a.len(), b.len());
-            for ((ka, va), (kb, vb)) in a.iter().zip(b) {
-                assert_eq!(ka, kb, "{path}: key mismatch");
-                assert_values_close(va, vb, tol, &format!("{path}.{ka}"));
-            }
-        }
-        _ => {
-            if let (Some(x), Some(y)) = (golden.as_f64(), got.as_f64()) {
-                assert!(
-                    (x - y).abs() <= tol,
-                    "{path}: golden {x} vs current {y} (tol {tol})"
-                );
-            } else {
-                assert_eq!(golden, got, "{path}: mismatch");
-            }
-        }
-    }
-}
-
-fn check_against_golden(name: &str, h: &taco::sim::History) {
-    let val = history_value(h);
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures")
-        .join(name);
-    if std::env::var("TACO_REGEN_GOLDEN").is_ok_and(|v| v != "0" && !v.is_empty()) {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, val.to_json() + "\n").unwrap();
-        println!("regenerated {}", path.display());
-        return;
-    }
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden fixture {} ({e}); regenerate with TACO_REGEN_GOLDEN=1",
-            path.display()
-        )
-    });
-    let golden = json::parse(text.trim()).expect("golden fixture is valid JSON");
-    let tol: f64 = std::env::var("TACO_GOLDEN_TOL")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.0);
-    assert_values_close(&golden, &val, tol, name);
-}
 
 #[test]
 fn golden_trajectory_fedavg_matches_fixture() {
-    let h = golden_run(Box::new(FedAvg::new(AggWeighting::Uniform)), false);
+    let h = golden_run(Box::new(FedAvg::new(AggWeighting::Uniform)), false, None);
     check_against_golden("golden_fedavg.json", &h);
 }
 
@@ -286,6 +174,7 @@ fn golden_trajectory_taco_matches_fixture() {
     let h = golden_run(
         Box::new(Taco::new(4, TacoConfig::paper_default(8, 6))),
         false,
+        None,
     );
     check_against_golden("golden_taco.json", &h);
 }
@@ -299,8 +188,8 @@ fn golden_trajectory_is_thread_count_invariant() {
     let p1 = Pool::new(1);
     let p8 = Pool::new(8);
     let make = || Box::new(Taco::new(4, TacoConfig::paper_default(8, 6)));
-    let h1 = pool::with_pool(&p1, || golden_run(make(), true));
-    let h8 = pool::with_pool(&p8, || golden_run(make(), true));
+    let h1 = pool::with_pool(&p1, || golden_run(make(), true, None));
+    let h8 = pool::with_pool(&p8, || golden_run(make(), true, None));
     assert_values_close(&history_value(&h1), &history_value(&h8), 0.0, "t1_vs_t8");
     check_against_golden("golden_taco.json", &h8);
 }
