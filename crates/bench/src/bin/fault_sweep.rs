@@ -84,9 +84,15 @@ fn main() {
                 seed,
                 plan.clone(),
             );
+            let totals = history.fault_totals();
             row.push(format!("{:.1}%", history.final_accuracy() * 100.0));
             row.push(history.total_faults_injected().to_string());
             row.push(history.total_updates_rejected().to_string());
+            row.push(format!(
+                "{}/{}/{}",
+                totals.dropouts, totals.stragglers, totals.corruptions
+            ));
+            row.push(format!("{}/{}", totals.deadline_cuts, totals.quarantined));
         }
         rows.push(row);
     }
@@ -97,9 +103,13 @@ fn main() {
             "FedAvg acc",
             "faults",
             "rejected",
+            "drop/strag/corrupt",
+            "cut/quarantine",
             "TACO acc",
             "faults",
             "rejected",
+            "drop/strag/corrupt",
+            "cut/quarantine",
         ],
         &rows,
     );

@@ -36,7 +36,9 @@ fn main() {
                 .with_detection(kappa as f32, lambda);
             let alg = Box::new(Taco::new(clients, cfg));
             let history = run(&w, alg, 81, Some(behaviors.clone()), false);
-            let score = detection::score(&history.expelled_clients, &behaviors);
+            let participated = history.participation_mask(behaviors.len());
+            let score =
+                detection::score(&history.expelled_clients, &behaviors, Some(&participated));
             row.push(format!("{:.0}%", score.tpr * 100.0));
             row.push(format!("{:.1}%", score.fpr * 100.0));
         }

@@ -23,9 +23,13 @@ use taco_core::{
     AggWeighting, FedAcg, FedAvg, FedProx, FederatedAlgorithm, FoolsGold, HyperParams, Scaffold,
     Stem, Taco, TailoredProx, TailoredScaffold,
 };
+use taco_data::partition::DriftSchedule;
 use taco_data::{partition, tabular, text, vision, FederatedDataset};
 use taco_nn::{CharLstm, Mlp, Model, PaperCnn, TinyResNet};
-use taco_sim::{BackendChoice, ClientBehavior, FaultPlan, History, SimConfig, Simulation};
+use taco_sim::{
+    AdversaryPlan, BackendChoice, ChurnTrace, ClientBehavior, FaultPlan, History, SimConfig,
+    Simulation,
+};
 use taco_tensor::Prng;
 use taco_trace::Value;
 
@@ -388,6 +392,65 @@ pub fn run_faulted_with_backend(
     run_configured(w, algorithm, seed, None, false, Some(plan), Some(backend))
 }
 
+/// A composed adversarial/churn/drift scenario for [`run_scenario`]:
+/// every field is optional, so one spec type covers the whole
+/// attack × churn × drift grid.
+#[derive(Default)]
+pub struct Scenario {
+    /// Ground-truth behaviour vector (doubles as scoreboard labels).
+    pub behaviors: Option<Vec<ClientBehavior>>,
+    /// Attack knobs for the non-honest behaviours.
+    pub adversary: Option<AdversaryPlan>,
+    /// Client join/leave schedule.
+    pub churn: Option<ChurnTrace>,
+    /// Time-varying non-IID drift.
+    pub drift: Option<DriftSchedule>,
+    /// Fault injection and server validation.
+    pub fault_plan: Option<FaultPlan>,
+    /// Partial participation fraction.
+    pub participation: Option<f64>,
+    /// Aggregation backend override.
+    pub backend: Option<BackendChoice>,
+}
+
+/// Runs one algorithm on a workload under a composed [`Scenario`].
+/// The run is recorded into the manifest like [`run`].
+pub fn run_scenario(
+    w: &Workload,
+    algorithm: Box<dyn FederatedAlgorithm>,
+    seed: u64,
+    scenario: &Scenario,
+) -> History {
+    let algorithm_name = algorithm.name();
+    let mut config = SimConfig::new(w.hyper, w.rounds, seed);
+    if let Some(b) = &scenario.behaviors {
+        config = config.with_behaviors(b.clone());
+    }
+    if let Some(plan) = scenario.adversary {
+        config = config.with_adversary(plan);
+    }
+    if let Some(trace) = &scenario.churn {
+        config = config.with_churn(trace.clone());
+    }
+    if let Some(schedule) = scenario.drift {
+        config = config.with_drift(schedule);
+    }
+    if let Some(plan) = &scenario.fault_plan {
+        config = config.with_fault_plan(plan.clone());
+    }
+    if let Some(fraction) = scenario.participation {
+        config = config.with_participation(fraction);
+    }
+    if let Some(backend) = scenario.backend {
+        config = config.with_backend(backend);
+    }
+    let started = Instant::now();
+    let history = Simulation::new(w.fed.clone(), w.model.clone_model(), algorithm, config).run();
+    let wall_secs = started.elapsed().as_secs_f64();
+    record_run(w, algorithm_name, seed, false, wall_secs, &history);
+    history
+}
+
 // --- Run manifests -------------------------------------------------
 
 struct ManifestState {
@@ -446,6 +509,20 @@ fn record_run(
         (
             "updates_rejected".to_string(),
             Value::from(history.total_updates_rejected()),
+        ),
+        ("fault_totals".to_string(), {
+            let t = history.fault_totals();
+            Value::object(vec![
+                ("dropouts".to_string(), Value::from(t.dropouts)),
+                ("stragglers".to_string(), Value::from(t.stragglers)),
+                ("corruptions".to_string(), Value::from(t.corruptions)),
+                ("deadline_cuts".to_string(), Value::from(t.deadline_cuts)),
+                ("quarantined".to_string(), Value::from(t.quarantined)),
+            ])
+        }),
+        (
+            "attacks_applied".to_string(),
+            Value::from(history.total_attacks_applied()),
         ),
         ("wall_secs".to_string(), Value::from(wall_secs)),
     ]);
@@ -738,16 +815,7 @@ mod tests {
                 .map(|(i, &a)| RoundRecord {
                     round: i,
                     test_accuracy: a,
-                    test_loss: 0.0,
-                    train_loss: 0.0,
-                    train_loss_carried: false,
-                    max_client_seconds: 0.0,
-                    total_client_seconds: 0.0,
-                    alphas: None,
-                    expelled: 0,
-                    upload_bytes: 0,
-                    faults_injected: 0,
-                    updates_rejected: 0,
+                    ..RoundRecord::default()
                 })
                 .collect(),
             expelled_clients: vec![],

@@ -201,6 +201,38 @@ pub trait FederatedAlgorithm: Send {
         Vec::new()
     }
 
+    /// Clients the algorithm currently *suspects* of malicious
+    /// behaviour, whether or not it has acted on the suspicion.
+    /// Expulsion-based detectors (TACO's Eq. 10) suspect exactly the
+    /// expelled set — the default; similarity-based detectors
+    /// (FoolsGold's cosine history) can flag clients they merely
+    /// downweight. The simulation records this set every round, which
+    /// is what the detection scoreboard's TPR/FPR curves are built on.
+    fn suspected(&self) -> Vec<usize> {
+        self.expelled()
+    }
+
+    /// Called when `client` joins (or rejoins) the federation via a
+    /// churn trace. Implementations must (re)initialize any per-client
+    /// state as for a fresh client; the runner never announces a join
+    /// for an expelled client. Default: no-op.
+    fn client_joined(&mut self, _client: usize) {}
+
+    /// Called when `client` leaves the federation via a churn trace.
+    /// Implementations must retire (drop) any per-client vector state
+    /// so long-running open-participation federations don't leak
+    /// memory for departed clients. Default: no-op.
+    fn client_departed(&mut self, _client: usize) {}
+
+    /// Number of clients for which the algorithm currently holds
+    /// materialized per-client *vector* state (SCAFFOLD control
+    /// variates, FoolsGold delta histories). A peak-RSS-adjacent probe:
+    /// tests assert it shrinks when clients depart. Algorithms with
+    /// only O(1) scalar per-client state (TACO's α/strikes) report 0.
+    fn tracked_client_states(&self) -> usize {
+        0
+    }
+
     /// Server-side evidence that `client` uploaded an invalid update
     /// (non-finite or norm-exploded delta) which was quarantined
     /// before aggregation. Detection-capable algorithms treat this

@@ -23,21 +23,83 @@ use taco_tensor::ops;
 /// the paper's own experiments, where FoolsGold tracks FedAvg closely)
 /// we read the ρ-normalized sum as the weighted mean and scale by
 /// `1/(K·η_l)`.
-#[derive(Debug, Clone, Default)]
+///
+/// # Suspicion (the original FoolsGold's cosine history)
+///
+/// Alongside the per-round weights the algorithm accumulates each
+/// client's summed delta across rounds (the original work's
+/// "historical gradient"). Two clients whose *accumulated* directions
+/// stay near-parallel — pairwise cosine at or above
+/// [`FoolsGold::with_suspicion`]'s threshold after enough observed
+/// rounds — are flagged as a suspected sybil/colluding pair via
+/// [`FederatedAlgorithm::suspected`]. Honest non-IID clients descend
+/// different local objectives, so their accumulated directions
+/// decorrelate; a colluding coalition pushing one seeded direction
+/// does not. Suspicion is pure diagnostics: it never changes the
+/// aggregation weights, so trajectories are identical with or without
+/// it.
+#[derive(Debug, Clone)]
 pub struct FoolsGold {
     last_weights: Vec<f32>,
+    /// Per-client accumulated deltas (the cosine history); empty until
+    /// a client's first aggregated round, cleared when it departs.
+    histories: Vec<Vec<f32>>,
+    /// Rounds each client has been aggregated (gates suspicion).
+    observations: Vec<usize>,
+    suspicion_threshold: f32,
+    min_observations: usize,
+}
+
+impl Default for FoolsGold {
+    fn default() -> Self {
+        FoolsGold {
+            last_weights: Vec::new(),
+            histories: Vec::new(),
+            observations: Vec::new(),
+            suspicion_threshold: 0.98,
+            min_observations: 3,
+        }
+    }
 }
 
 impl FoolsGold {
-    /// Creates FoolsGold.
+    /// Creates FoolsGold with the default suspicion settings (pairwise
+    /// cosine ≥ 0.98 after 3 observed rounds).
     pub fn new() -> Self {
         FoolsGold::default()
+    }
+
+    /// Builder-style override of the suspicion thresholds: flag a pair
+    /// of clients when the cosine of their accumulated deltas reaches
+    /// `threshold` and both have been aggregated at least
+    /// `min_observations` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 1]` or `min_observations`
+    /// is zero.
+    pub fn with_suspicion(mut self, threshold: f32, min_observations: usize) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "suspicion threshold must be in (0, 1], got {threshold}"
+        );
+        assert!(min_observations > 0, "min_observations must be positive");
+        self.suspicion_threshold = threshold;
+        self.min_observations = min_observations;
+        self
     }
 
     /// The aggregation weights used in the most recent round
     /// (diagnostics for tests and reports).
     pub fn last_weights(&self) -> &[f32] {
         &self.last_weights
+    }
+
+    fn ensure_client(&mut self, client: usize) {
+        if client >= self.histories.len() {
+            self.histories.resize_with(client + 1, Vec::new);
+            self.observations.resize(client + 1, 0);
+        }
     }
 }
 
@@ -64,11 +126,75 @@ impl FederatedAlgorithm for FoolsGold {
             .map(|d| ops::cosine_similarity(d, &mean).max(1e-3))
             .collect();
         self.last_weights = weights.clone();
+        // Accumulate the cosine history (suspicion diagnostics only —
+        // the weights above are already fixed for this round).
+        for u in updates {
+            self.ensure_client(u.client);
+            let hist = &mut self.histories[u.client];
+            if hist.len() != u.delta.len() {
+                *hist = vec![0.0; u.delta.len()];
+            }
+            ops::axpy(hist, 1.0, &u.delta);
+            self.observations[u.client] += 1;
+        }
         let agg = ops::weighted_mean(&deltas, &weights);
         let scale = hyper.eta_g / hyper.k_eta_l();
         let mut next = global.to_vec();
         ops::axpy(&mut next, -scale, &agg);
         next
+    }
+
+    fn suspected(&self) -> Vec<usize> {
+        // Pairwise cosine over accumulated histories, in fixed client
+        // order; a pair at or above the threshold flags both members.
+        let eligible: Vec<usize> = (0..self.histories.len())
+            .filter(|&i| {
+                self.observations[i] >= self.min_observations && !self.histories[i].is_empty()
+            })
+            .collect();
+        let norms: Vec<f32> = eligible
+            .iter()
+            .map(|&i| ops::norm(&self.histories[i]))
+            .collect();
+        let mut flagged = vec![false; self.histories.len()];
+        for (a, &i) in eligible.iter().enumerate() {
+            for (b, &j) in eligible.iter().enumerate().skip(a + 1) {
+                if norms[a] <= 0.0 || norms[b] <= 0.0 {
+                    continue;
+                }
+                let cos = ops::cosine_with_norms(
+                    &self.histories[i],
+                    &self.histories[j],
+                    norms[a],
+                    norms[b],
+                );
+                if cos >= self.suspicion_threshold {
+                    flagged[i] = true;
+                    flagged[j] = true;
+                }
+            }
+        }
+        flagged
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn client_departed(&mut self, client: usize) {
+        // Retire the departed client's history; on rejoin it starts
+        // from scratch like a fresh client.
+        if let Some(h) = self.histories.get_mut(client) {
+            *h = Vec::new();
+        }
+        if let Some(o) = self.observations.get_mut(client) {
+            *o = 0;
+        }
+    }
+
+    fn tracked_client_states(&self) -> usize {
+        self.histories.iter().filter(|h| !h.is_empty()).count()
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -113,6 +239,91 @@ mod tests {
             "outlier not downweighted: {w:?}"
         );
         assert!(w[2] <= 1e-3 + f32::EPSILON);
+    }
+
+    #[test]
+    fn colluding_pair_is_suspected_and_honest_clients_are_not() {
+        let mut alg = FoolsGold::new().with_suspicion(0.95, 3);
+        let hyper = HyperParams::new(4, 1, 1.0, 1);
+        // Clients 0 and 1 push one shared direction every round (a
+        // colluding coalition); 2 and 3 push decorrelated directions.
+        let rounds: [[Vec<f32>; 4]; 3] = [
+            [
+                vec![1.0, 1.0, 0.0],
+                vec![1.0, 1.05, 0.0],
+                vec![0.5, -1.0, 0.3],
+                vec![-0.8, 0.2, 1.0],
+            ],
+            [
+                vec![1.0, 0.95, 0.0],
+                vec![1.1, 1.0, 0.0],
+                vec![-0.4, 0.9, -1.0],
+                vec![1.0, -0.5, -0.2],
+            ],
+            [
+                vec![0.9, 1.0, 0.0],
+                vec![1.0, 1.0, 0.0],
+                vec![0.7, 0.1, 0.9],
+                vec![-0.2, 1.0, 0.4],
+            ],
+        ];
+        for round in &rounds {
+            let updates: Vec<ClientUpdate> = round
+                .iter()
+                .enumerate()
+                .map(|(i, d)| upd(i, d.clone()))
+                .collect();
+            let _ = alg.aggregate(&[0.0, 0.0, 0.0], &updates, &hyper);
+        }
+        assert_eq!(alg.suspected(), vec![0, 1]);
+    }
+
+    #[test]
+    fn suspicion_needs_minimum_observations() {
+        let mut alg = FoolsGold::new().with_suspicion(0.9, 3);
+        let hyper = HyperParams::new(2, 1, 1.0, 1);
+        for _ in 0..2 {
+            let _ = alg.aggregate(
+                &[0.0, 0.0],
+                &[upd(0, vec![1.0, 1.0]), upd(1, vec![1.0, 1.0])],
+                &hyper,
+            );
+        }
+        assert!(alg.suspected().is_empty(), "flagged after only 2 rounds");
+        let _ = alg.aggregate(
+            &[0.0, 0.0],
+            &[upd(0, vec![1.0, 1.0]), upd(1, vec![1.0, 1.0])],
+            &hyper,
+        );
+        assert_eq!(alg.suspected(), vec![0, 1]);
+    }
+
+    #[test]
+    fn departed_client_history_is_dropped() {
+        let mut alg = FoolsGold::new().with_suspicion(0.9, 1);
+        let hyper = HyperParams::new(2, 1, 1.0, 1);
+        let _ = alg.aggregate(
+            &[0.0, 0.0],
+            &[upd(0, vec![1.0, 1.0]), upd(1, vec![1.0, 1.0])],
+            &hyper,
+        );
+        assert_eq!(alg.tracked_client_states(), 2);
+        assert_eq!(alg.suspected(), vec![0, 1]);
+        alg.client_departed(1);
+        assert_eq!(alg.tracked_client_states(), 1);
+        // With client 1's history retired the pair no longer exists.
+        assert!(alg.suspected().is_empty());
+    }
+
+    #[test]
+    fn suspicion_never_changes_aggregation() {
+        let hyper = HyperParams::new(2, 1, 1.0, 1);
+        let mut strict = FoolsGold::new().with_suspicion(0.5, 1);
+        let mut lax = FoolsGold::new().with_suspicion(1.0, 99);
+        let updates = vec![upd(0, vec![0.4, 0.6]), upd(1, vec![0.5, 0.5])];
+        let a = strict.aggregate(&[1.0, 1.0], &updates, &hyper);
+        let b = lax.aggregate(&[1.0, 1.0], &updates, &hyper);
+        assert_eq!(a, b);
     }
 
     #[test]

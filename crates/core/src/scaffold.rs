@@ -52,7 +52,9 @@ impl Scaffold {
         self.alpha
     }
 
-    /// Client `i`'s control variate (diagnostics).
+    /// Client `i`'s control variate (diagnostics). Empty until the
+    /// client's first aggregated round materializes it (an
+    /// unmaterialized variate is semantically zero).
     pub fn client_variate(&self, i: usize) -> &[f32] {
         &self.c_clients[i]
     }
@@ -60,8 +62,11 @@ impl Scaffold {
     fn ensure_dim(&mut self, dim: usize) {
         if self.c_global.len() != dim {
             self.c_global = vec![0.0; dim];
+            // Per-client variates are materialized lazily on each
+            // client's first aggregated round (an empty vec reads as
+            // zeros everywhere), so departed clients hold no memory.
             for c in &mut self.c_clients {
-                *c = vec![0.0; dim];
+                c.clear();
             }
         }
     }
@@ -81,12 +86,18 @@ impl FederatedAlgorithm for Scaffold {
             // First round before any aggregation: zero variates.
             return LocalRule::PlainSgd;
         }
-        let term: Vec<f32> = self
-            .c_global
-            .iter()
-            .zip(&self.c_clients[client])
-            .map(|(&c, &ci)| self.alpha * (c - ci))
-            .collect();
+        let ci = &self.c_clients[client];
+        let term: Vec<f32> = if ci.len() == global.len() {
+            self.c_global
+                .iter()
+                .zip(ci)
+                .map(|(&c, &ci)| self.alpha * (c - ci))
+                .collect()
+        } else {
+            // Unmaterialized variate (fresh or rejoining client):
+            // c_i = 0, bit-identical to `α·(c − 0)`.
+            self.c_global.iter().map(|&c| self.alpha * c).collect()
+        };
         LocalRule::Correction { term }
     }
 
@@ -102,6 +113,11 @@ impl FederatedAlgorithm for Scaffold {
         let mut mean_shift = vec![0.0f32; global.len()];
         let n = self.c_clients.len() as f32;
         for u in updates {
+            if self.c_clients[u.client].len() != global.len() {
+                // First aggregated round for this client (or its first
+                // after rejoining): materialize the zero variate.
+                self.c_clients[u.client] = vec![0.0; global.len()];
+            }
             let old = self.c_clients[u.client].clone();
             let mut new = old.clone();
             // Each client's variate is normalized by its *own*
@@ -126,6 +142,18 @@ impl FederatedAlgorithm for Scaffold {
         }
         ops::axpy(&mut self.c_global, 1.0, &mean_shift);
         fedavg_step(global, updates, hyper, self.weighting)
+    }
+
+    fn client_departed(&mut self, client: usize) {
+        // Retire the departed client's control variate; a later rejoin
+        // rematerializes a fresh zero variate in `aggregate`.
+        if let Some(c) = self.c_clients.get_mut(client) {
+            *c = Vec::new();
+        }
+    }
+
+    fn tracked_client_states(&self) -> usize {
+        self.c_clients.iter().filter(|c| !c.is_empty()).count()
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -242,6 +270,61 @@ mod tests {
         u.steps = 0; // no step count recorded: falls back to K = 10
         let _ = alg2.aggregate(&[0.0], &[u], &hyper);
         assert!((alg2.client_variate(0)[0] - 1.0 / (10.0 * eta_l)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn departed_variate_is_dropped_and_rejoin_starts_fresh() {
+        let mut alg = Scaffold::new(3, 1.0);
+        let hyper = HyperParams::new(3, 1, 1.0, 1);
+        alg.begin_round(0, &[0.0, 0.0]);
+        let _ = alg.aggregate(
+            &[0.0, 0.0],
+            &[
+                upd(0, vec![1.0, 0.0]),
+                upd(1, vec![0.0, 1.0]),
+                upd(2, vec![0.5, 0.5]),
+            ],
+            &hyper,
+        );
+        assert_eq!(alg.tracked_client_states(), 3);
+        alg.client_departed(1);
+        assert_eq!(alg.tracked_client_states(), 2);
+        assert!(alg.client_variate(1).is_empty(), "variate not retired");
+        // A rejoining client's rule reads its variate as zero:
+        // term = α·(c − 0) = α·c.
+        alg.client_joined(1);
+        let expect: Vec<f32> = alg.c_global.iter().map(|&c| 1.0 * c).collect();
+        match alg.local_rule(1, &[0.0, 0.0]) {
+            LocalRule::Correction { term } => assert_eq!(term, expect),
+            other => panic!("unexpected rule {other:?}"),
+        }
+        // Its next aggregated round rematerializes a fresh variate.
+        let _ = alg.aggregate(&[0.0, 0.0], &[upd(1, vec![0.2, 0.2])], &hyper);
+        assert_eq!(alg.tracked_client_states(), 3);
+    }
+
+    #[test]
+    fn lazy_variates_match_the_materialized_rule() {
+        // A client that has never been aggregated gets the same
+        // correction term whether its zero variate is materialized or
+        // not (bit-identity of the lazy representation).
+        let mut alg = Scaffold::new(2, 1.0);
+        let hyper = HyperParams::new(2, 1, 1.0, 1);
+        alg.begin_round(0, &[0.0]);
+        // Only client 0 participates; client 1's variate stays lazy.
+        let _ = alg.aggregate(&[0.0], &[upd(0, vec![1.0])], &hyper);
+        assert_eq!(alg.tracked_client_states(), 1);
+        let lazy = match alg.local_rule(1, &[0.0]) {
+            LocalRule::Correction { term } => term,
+            other => panic!("unexpected rule {other:?}"),
+        };
+        // Materialize it by hand and recompute.
+        alg.c_clients[1] = vec![0.0];
+        let materialized = match alg.local_rule(1, &[0.0]) {
+            LocalRule::Correction { term } => term,
+            other => panic!("unexpected rule {other:?}"),
+        };
+        assert_eq!(lazy, materialized);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Client churn traces: deterministic join/leave schedules.
+//!
+//! A [`ChurnTrace`] is a per-client list of presence toggles — pure
+//! data, no randomness — queried by the runner at every round
+//! boundary. Presence composes with expulsion: a client is *eligible*
+//! only while present **and** not expelled, and an expelled client
+//! that "rejoins" through the trace stays expelled (the runner never
+//! announces its join to the algorithm). Presence transitions drive
+//! the [`taco_core::FederatedAlgorithm::client_joined`] /
+//! [`taco_core::FederatedAlgorithm::client_departed`] lifecycle hooks
+//! so per-client state (SCAFFOLD variates, FoolsGold histories) is
+//! initialized and retired at the right moments.
+//!
+//! Inertness: a trace with no events leaves every eligible set — and
+//! therefore the participation RNG stream and the whole trajectory —
+//! byte-identical to a trace-free run (golden-tested).
+
+/// A deterministic join/leave schedule for a fixed client id space.
+///
+/// Clients default to *present from round 0*; builder calls toggle
+/// presence from a given round onward. Client ids are stable for the
+/// whole run — a "rejoining" client is the same id (same data shard,
+/// same ground-truth behaviour), which is exactly the case expulsion
+/// persistence has to survive.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChurnTrace {
+    /// Per client: `(round, present)` toggles in push order. Presence
+    /// at round `r` is the toggle with the largest round `≤ r`, or
+    /// `true` if none.
+    events: Vec<Vec<(usize, bool)>>,
+}
+
+impl ChurnTrace {
+    /// Creates an inert trace for `n_clients` clients (all present,
+    /// all rounds).
+    pub fn new(n_clients: usize) -> Self {
+        ChurnTrace {
+            events: vec![Vec::new(); n_clients],
+        }
+    }
+
+    /// Number of clients the trace covers.
+    pub fn num_clients(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace carries no events (provably no effect on
+    /// a run).
+    pub fn is_inert(&self) -> bool {
+        self.events.iter().all(Vec::is_empty)
+    }
+
+    /// Builder: `client` departs at the start of `round` (absent from
+    /// `round` onward until a later toggle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn departs(mut self, client: usize, round: usize) -> Self {
+        self.push(client, round, false);
+        self
+    }
+
+    /// Builder: `client` (re)joins at the start of `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn joins(mut self, client: usize, round: usize) -> Self {
+        self.push(client, round, true);
+        self
+    }
+
+    /// Builder: `client` is absent until it first joins at `round`
+    /// (late arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range or `round` is 0 (a client
+    /// joining at round 0 is simply present; use the default).
+    pub fn absent_until(mut self, client: usize, round: usize) -> Self {
+        assert!(round > 0, "absent_until(_, 0) is the default presence");
+        self.push(client, 0, false);
+        self.push(client, round, true);
+        self
+    }
+
+    fn push(&mut self, client: usize, round: usize, present: bool) {
+        assert!(
+            client < self.events.len(),
+            "client {client} out of range for {} clients",
+            self.events.len()
+        );
+        self.events[client].push((round, present));
+    }
+
+    /// Whether `client` is present at `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn present(&self, round: usize, client: usize) -> bool {
+        let mut state = true;
+        let mut best: Option<usize> = None;
+        for &(r, p) in &self.events[client] {
+            // Later-round toggles win; equal-round toggles resolve to
+            // the last one pushed (builder order).
+            let newer = match best {
+                None => true,
+                Some(b) => r >= b,
+            };
+            if r <= round && newer {
+                best = Some(r);
+                state = p;
+            }
+        }
+        state
+    }
+
+    /// The present-client mask at `round`.
+    pub fn present_mask(&self, round: usize) -> Vec<bool> {
+        (0..self.num_clients())
+            .map(|c| self.present(round, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_inert_and_all_present() {
+        let t = ChurnTrace::new(3);
+        assert!(t.is_inert());
+        for round in 0..5 {
+            assert_eq!(t.present_mask(round), vec![true; 3]);
+        }
+    }
+
+    #[test]
+    fn depart_then_rejoin() {
+        let t = ChurnTrace::new(2).departs(1, 2).joins(1, 4);
+        assert!(!t.is_inert());
+        assert!(t.present(0, 1) && t.present(1, 1));
+        assert!(!t.present(2, 1) && !t.present(3, 1));
+        assert!(t.present(4, 1) && t.present(9, 1));
+        // Client 0 is untouched.
+        assert!((0..10).all(|r| t.present(r, 0)));
+    }
+
+    #[test]
+    fn late_arrival() {
+        let t = ChurnTrace::new(2).absent_until(0, 3);
+        assert!(!t.present(0, 0) && !t.present(2, 0));
+        assert!(t.present(3, 0));
+    }
+
+    #[test]
+    fn same_round_toggles_resolve_to_last_pushed() {
+        let t = ChurnTrace::new(1).departs(0, 2).joins(0, 2);
+        assert!(t.present(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_client_panics() {
+        let _ = ChurnTrace::new(2).departs(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "default presence")]
+    fn absent_until_round_zero_panics() {
+        let _ = ChurnTrace::new(2).absent_until(0, 0);
+    }
+}

@@ -13,17 +13,24 @@
 //!   parameter-server backend, bit-identical at any shard or thread
 //!   count and selected via `TACO_BACKEND`/`TACO_SHARDS` (or
 //!   [`runner::SimConfig::with_backend`]).
-//! - [`freeloader`] — client behaviours: honest clients train; lazy
-//!   freeloaders (Section IV-A) re-upload the previous global update
-//!   without training.
+//! - [`freeloader`] — ground-truth client behaviours: honest clients
+//!   train; lazy freeloaders (Section IV-A) re-upload the previous
+//!   global update; sign-flippers, boosters, and colluding coalitions
+//!   mount the model-update attacks in [`adversary`].
+//! - [`adversary`] — seeded, deterministic model-update attacks
+//!   applied on the device side of the wire ([`adversary::AdversaryPlan`]).
+//! - [`churn`] — deterministic client join/leave schedules
+//!   ([`churn::ChurnTrace`]) driving the algorithm lifecycle hooks;
+//!   composes with data drift ([`taco_data::partition::DriftSchedule`]).
 //! - [`metrics`] — per-round records and the paper's two efficiency
 //!   metrics: round-to-accuracy and time-to-accuracy (cumulative
 //!   slowest-client compute time, Figs. 2 and 4).
 //! - [`fault`] — deterministic, seeded fault injection (dropouts,
 //!   stragglers with a synchronous server deadline, wire corruption)
 //!   plus server-side update validation/quarantine.
-//! - [`detection`] — TPR/FPR scoring of freeloader detection
-//!   (Table VIII).
+//! - [`detection`] — the detection scoreboard: participation-aware
+//!   TPR/FPR scoring (Table VIII) and per-round detection curves with
+//!   time-to-detection.
 //! - [`cost`] — the analytic per-round compute model used to
 //!   cross-check measured timings against each algorithm's
 //!   [`taco_core::CostProfile`].
@@ -53,7 +60,9 @@
 
 #![deny(missing_docs)]
 
+pub mod adversary;
 pub mod backend;
+pub mod churn;
 mod client;
 pub mod comm;
 pub mod cost;
@@ -65,10 +74,12 @@ pub mod phase;
 pub mod runner;
 mod server;
 
+pub use adversary::AdversaryPlan;
 pub use backend::{
     AggregationBackend, BackendChoice, RoundAggregate, SequentialBackend, ShardedBackend,
 };
+pub use churn::ChurnTrace;
 pub use fault::{Corruption, Deadline, FaultKind, FaultPlan, RejectReason, ValidationPolicy};
 pub use freeloader::ClientBehavior;
-pub use metrics::{History, RoundRecord};
+pub use metrics::{FaultTotals, History, RoundRecord};
 pub use runner::{Participation, SimConfig, Simulation};

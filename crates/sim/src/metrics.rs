@@ -1,7 +1,45 @@
 //! Per-round records and the paper's efficiency metrics.
 
+/// Per-kind fault and rejection tallies for one round (or, summed,
+/// for a run): the attribution detail behind the aggregate
+/// `faults_injected`/`updates_rejected` counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTotals {
+    /// Dropout faults injected.
+    pub dropouts: usize,
+    /// Straggler faults injected.
+    pub stragglers: usize,
+    /// Wire-corruption faults injected.
+    pub corruptions: usize,
+    /// Uploads cut by the server's synchronous deadline.
+    pub deadline_cuts: usize,
+    /// Uploads quarantined by validation.
+    pub quarantined: usize,
+}
+
+impl FaultTotals {
+    /// Faults injected (matches `faults_injected`).
+    pub fn injected(&self) -> usize {
+        self.dropouts + self.stragglers + self.corruptions
+    }
+
+    /// Uploads rejected by the server (matches `updates_rejected`).
+    pub fn rejected(&self) -> usize {
+        self.deadline_cuts + self.quarantined
+    }
+
+    /// Adds another tally into this one (summing rounds into a run).
+    pub fn accumulate(&mut self, other: &FaultTotals) {
+        self.dropouts += other.dropouts;
+        self.stragglers += other.stragglers;
+        self.corruptions += other.corruptions;
+        self.deadline_cuts += other.deadline_cuts;
+        self.quarantined += other.quarantined;
+    }
+}
+
 /// Everything recorded about one communication round.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RoundRecord {
     /// Round index `t` (0-based).
     pub round: usize,
@@ -39,6 +77,23 @@ pub struct RoundRecord {
     /// Uploads cut from aggregation by the server this round: deadline
     /// misses plus validation quarantines.
     pub updates_rejected: usize,
+    /// Clients drawn to participate this round (sorted ids). The
+    /// denominator of the detection scoreboard: a client that never
+    /// appears here was never observable by the server.
+    pub participants: Vec<usize>,
+    /// Clients the algorithm suspects after this round
+    /// ([`taco_core::FederatedAlgorithm::suspected`], sorted ids).
+    /// Suspicion is diagnostic — it never feeds back into aggregation.
+    pub suspected: Vec<usize>,
+    /// Model-update attacks applied this round by the configured
+    /// [`crate::adversary::AdversaryPlan`]; `0` when no plan is set.
+    pub attacks_applied: usize,
+    /// Per-kind breakdown of `faults_injected`/`updates_rejected`.
+    pub fault_totals: FaultTotals,
+    /// Per-client state slots the algorithm holds after this round
+    /// ([`taco_core::FederatedAlgorithm::tracked_client_states`]) — the
+    /// churn probe that departed clients' state was actually dropped.
+    pub tracked_states: usize,
 }
 
 /// The full trajectory of a simulation run.
@@ -111,6 +166,34 @@ impl History {
         self.rounds.iter().map(|r| r.updates_rejected).sum()
     }
 
+    /// Per-kind fault/rejection totals summed across the run.
+    pub fn fault_totals(&self) -> FaultTotals {
+        let mut t = FaultTotals::default();
+        for r in &self.rounds {
+            t.accumulate(&r.fault_totals);
+        }
+        t
+    }
+
+    /// Total model-update attacks applied across the run.
+    pub fn total_attacks_applied(&self) -> usize {
+        self.rounds.iter().map(|r| r.attacks_applied).sum()
+    }
+
+    /// Which of `n_clients` ever participated in any round — the
+    /// participation gate for [`crate::detection::score`].
+    pub fn participation_mask(&self, n_clients: usize) -> Vec<bool> {
+        let mut mask = vec![false; n_clients];
+        for r in &self.rounds {
+            for &c in &r.participants {
+                if c < n_clients {
+                    mask[c] = true;
+                }
+            }
+        }
+        mask
+    }
+
     /// The per-round slowest-client compute times (Fig. 5's series).
     pub fn per_round_seconds(&self) -> Vec<f64> {
         self.rounds.iter().map(|r| r.max_client_seconds).collect()
@@ -165,16 +248,9 @@ mod tests {
         RoundRecord {
             round,
             test_accuracy: acc,
-            test_loss: 0.0,
-            train_loss: 0.0,
-            train_loss_carried: false,
             max_client_seconds: secs,
             total_client_seconds: secs * 2.0,
-            alphas: None,
-            expelled: 0,
-            upload_bytes: 0,
-            faults_injected: 0,
-            updates_rejected: 0,
+            ..RoundRecord::default()
         }
     }
 
@@ -244,6 +320,52 @@ mod tests {
         h.rounds[1].updates_rejected = 3;
         assert_eq!(h.total_faults_injected(), 3);
         assert_eq!(h.total_updates_rejected(), 3);
+    }
+
+    #[test]
+    fn per_kind_totals_accumulate_and_cross_check() {
+        let mut h = history(&[0.1, 0.2]);
+        h.rounds[0].fault_totals = FaultTotals {
+            dropouts: 1,
+            stragglers: 2,
+            corruptions: 0,
+            deadline_cuts: 1,
+            quarantined: 0,
+        };
+        h.rounds[1].fault_totals = FaultTotals {
+            dropouts: 0,
+            stragglers: 1,
+            corruptions: 3,
+            deadline_cuts: 0,
+            quarantined: 2,
+        };
+        let t = h.fault_totals();
+        assert_eq!(t.dropouts, 1);
+        assert_eq!(t.stragglers, 3);
+        assert_eq!(t.corruptions, 3);
+        assert_eq!(t.injected(), 7);
+        assert_eq!(t.rejected(), 3);
+    }
+
+    #[test]
+    fn attacks_sum_over_rounds() {
+        let mut h = history(&[0.1, 0.2, 0.3]);
+        h.rounds[1].attacks_applied = 2;
+        h.rounds[2].attacks_applied = 1;
+        assert_eq!(h.total_attacks_applied(), 3);
+    }
+
+    #[test]
+    fn participation_mask_unions_rounds() {
+        let mut h = history(&[0.1, 0.2]);
+        h.rounds[0].participants = vec![0, 2];
+        h.rounds[1].participants = vec![2, 3];
+        assert_eq!(
+            h.participation_mask(5),
+            vec![true, false, true, true, false]
+        );
+        // Out-of-range ids are ignored, not a panic.
+        assert_eq!(h.participation_mask(1), vec![true]);
     }
 
     #[test]

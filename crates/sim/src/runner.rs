@@ -1,17 +1,26 @@
 //! The parameter-server round loop.
 
+use crate::adversary::{self, AdversaryPlan};
 use crate::backend::{AggregationBackend, BackendChoice};
+use crate::churn::ChurnTrace;
 use crate::client::{self, ClientJob};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::freeloader::ClientBehavior;
-use crate::metrics::{History, RoundRecord};
+use crate::metrics::{FaultTotals, History, RoundRecord};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use taco_core::compress::Compressor;
 use taco_core::{ClientUpdate, FederatedAlgorithm, HyperParams};
-use taco_data::FederatedDataset;
+use taco_data::partition::{self, DriftSchedule};
+use taco_data::{Dataset, FederatedDataset};
 use taco_nn::{Batch, Model};
 use taco_tensor::ops;
 use taco_trace as trace;
+
+/// Salt folded into the run seed for drift re-partitioning draws, so
+/// the drift stream never aliases the training, participation, fault,
+/// or coalition streams.
+const DRIFT_SALT: u64 = 0xD81F;
 
 /// Which clients take part in each round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +80,18 @@ pub struct SimConfig {
     /// environment ([`BackendChoice::from_env`]); both backends are
     /// bit-identical, so this only affects wall-clock.
     pub backend: BackendChoice,
+    /// Parameters of the model-update attacks mounted by non-honest
+    /// behaviours. The plan is inert while every behaviour is honest
+    /// or freeloading; which clients attack is `behaviors`' job.
+    pub adversary: AdversaryPlan,
+    /// Deterministic client join/leave schedule. `None` (and an
+    /// event-free trace) leaves every round's eligible set — and the
+    /// whole trajectory — bit-identical to a churn-free run.
+    pub churn: Option<ChurnTrace>,
+    /// Time-varying non-IID drift: re-partitions the pooled training
+    /// data at a fixed cadence with an interpolated Dirichlet `φ`.
+    /// `None` (and an inert schedule) changes nothing.
+    pub drift: Option<DriftSchedule>,
 }
 
 impl SimConfig {
@@ -91,7 +112,40 @@ impl SimConfig {
             upload_compressor: None,
             fault_plan: None,
             backend: BackendChoice::from_env(),
+            adversary: AdversaryPlan::default(),
+            churn: None,
+            drift: None,
         }
+    }
+
+    /// Builder-style adversary-plan override (attack knobs only; which
+    /// clients attack is set via [`SimConfig::with_behaviors`]).
+    pub fn with_adversary(mut self, plan: AdversaryPlan) -> Self {
+        self.adversary = plan;
+        self
+    }
+
+    /// Builder-style churn-trace override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's client count differs from the config's.
+    pub fn with_churn(mut self, trace: ChurnTrace) -> Self {
+        assert_eq!(
+            trace.num_clients(),
+            self.hyper.num_clients,
+            "churn trace covers {} clients but hyper says {}",
+            trace.num_clients(),
+            self.hyper.num_clients
+        );
+        self.churn = Some(trace);
+        self
+    }
+
+    /// Builder-style drift-schedule override.
+    pub fn with_drift(mut self, schedule: DriftSchedule) -> Self {
+        self.drift = Some(schedule);
+        self
     }
 
     /// Builder-style aggregation-backend override (wins over the
@@ -195,6 +249,9 @@ impl std::fmt::Debug for SimConfig {
             )
             .field("fault_plan", &self.fault_plan)
             .field("backend", &self.backend)
+            .field("adversary", &self.adversary)
+            .field("churn", &self.churn)
+            .field("drift", &self.drift)
             .finish()
     }
 }
@@ -208,6 +265,11 @@ pub struct Simulation {
     backend: Box<dyn AggregationBackend>,
     config: SimConfig,
     eval_batches: Vec<Batch>,
+    /// The pooled training data, rebuilt from the initial shards, used
+    /// as the re-partitioning source when a drift schedule is active.
+    drift_pool: Option<Dataset>,
+    /// Coalition attack directions, derived lazily per coalition id.
+    coalition_dirs: BTreeMap<u16, Vec<f32>>,
 }
 
 impl Simulation {
@@ -230,8 +292,27 @@ impl Simulation {
             fed.num_clients(),
             config.hyper.num_clients
         );
+        if let Some(trace) = &config.churn {
+            assert_eq!(
+                trace.num_clients(),
+                fed.num_clients(),
+                "churn trace covers {} clients but the federation has {}",
+                trace.num_clients(),
+                fed.num_clients()
+            );
+        }
         let eval_batches = fed.test().eval_batches(config.eval_batch);
         let backend = config.backend.build();
+        // Re-pool the shards up front (in client order, so the pool is
+        // a pure function of the initial partition) only when drift
+        // can actually fire; an inert schedule costs nothing.
+        let drift_pool = match &config.drift {
+            Some(schedule) if !schedule.is_inert() => {
+                let parts: Vec<&Dataset> = fed.clients().iter().collect();
+                Some(Dataset::concat(&parts))
+            }
+            _ => None,
+        };
         Simulation {
             fed,
             prototype,
@@ -239,6 +320,8 @@ impl Simulation {
             backend,
             config,
             eval_batches,
+            drift_pool,
+            coalition_dirs: BTreeMap::new(),
         }
     }
 
@@ -254,39 +337,119 @@ impl Simulation {
         };
         let hyper = self.config.hyper;
         let needs_momentum_upload = self.algorithm.uploads_momentum();
+        let n = self.fed.num_clients();
+        // Presence state across rounds, for join/depart edge detection.
+        // Starting all-present means a round-0 absence is announced as
+        // a departure, so lazily-held per-client state is retired even
+        // for late arrivals.
+        let mut prev_present = vec![true; n];
         for round in 0..self.config.rounds {
             // Phase spans use the stable names in [`crate::phase`]:
             // their `.seconds` histograms are a reported contract
             // consumed by the perf-trajectory suite.
             let round_span = trace::Span::quiet(crate::phase::ROUND);
+            // Data drift fires before anything reads the shards: the
+            // whole round (local training, sample counts, losses) sees
+            // the re-partitioned federation.
+            if let (Some(schedule), Some(pool)) = (&self.config.drift, &self.drift_pool) {
+                if let Some(phi) = schedule.repartition_at(round) {
+                    let mut rng =
+                        client::client_rng(self.config.seed ^ DRIFT_SALT, round, usize::MAX);
+                    let shards = partition::dirichlet(pool.labels(), n, phi, &mut rng);
+                    let skew = partition::skew_statistic(pool.labels(), &shards);
+                    trace::counter("sim.drift.repartitions").incr();
+                    if trace::active() {
+                        trace::emit(
+                            &trace::Event::new("drift")
+                                .with("round", round)
+                                .with("phi", phi)
+                                .with("skew", skew),
+                        );
+                    }
+                    self.fed = FederatedDataset::from_partition(
+                        pool.clone(),
+                        self.fed.test().clone(),
+                        &shards,
+                    );
+                }
+            }
             let draw_span = trace::Span::quiet(crate::phase::PARTICIPATION);
             self.algorithm.begin_round(round, &global);
             self.backend
                 .begin_round(round, &global, self.algorithm.as_ref());
             let expelled: Vec<usize> = self.algorithm.expelled();
-            let n = self.fed.num_clients();
             let mut expelled_mask = vec![false; n];
             for &c in &expelled {
                 if c < n {
                     expelled_mask[c] = true;
                 }
             }
+            // Churn edges. Joins of expelled clients are never
+            // announced — expulsion outlives any departure/rejoin
+            // cycle — but presence still updates so the client isn't
+            // re-announced later.
+            let present: Vec<bool> = match &self.config.churn {
+                Some(trace) => trace.present_mask(round),
+                None => vec![true; n],
+            };
+            for c in 0..n {
+                if present[c] == prev_present[c] {
+                    continue;
+                }
+                if present[c] {
+                    if !expelled_mask[c] {
+                        self.algorithm.client_joined(c);
+                        trace::counter("sim.churn.joins").incr();
+                        if trace::active() {
+                            trace::emit(
+                                &trace::Event::new("churn")
+                                    .with("round", round)
+                                    .with("client", c)
+                                    .with("event", "join"),
+                            );
+                        }
+                    }
+                } else {
+                    self.algorithm.client_departed(c);
+                    trace::counter("sim.churn.departures").incr();
+                    if trace::active() {
+                        trace::emit(
+                            &trace::Event::new("churn")
+                                .with("round", round)
+                                .with("client", c)
+                                .with("event", "depart"),
+                        );
+                    }
+                }
+            }
+            prev_present = present.clone();
             // Only a fully-expelled federation freezes training; every
-            // other degenerate round (nothing sampled, everyone
-            // dropped or quarantined) is recorded as empty and the run
-            // continues.
-            let eligible: Vec<usize> = (0..n).filter(|&c| !expelled_mask[c]).collect();
-            if eligible.is_empty() {
+            // other degenerate round (nothing sampled, nobody present,
+            // everyone dropped or quarantined) is recorded as empty
+            // and the run continues.
+            if expelled_mask.iter().all(|&e| e) {
                 break;
             }
+            let eligible: Vec<usize> = (0..n)
+                .filter(|&c| !expelled_mask[c] && present[c])
+                .collect();
             // Participation draw (deterministic per round). The subset
             // is drawn from the *eligible* clients — sampling all N
             // and filtering expelled ones afterwards would silently
             // shrink effective participation as freeloaders are
-            // expelled. Without expulsions `eligible` is the identity
-            // map, so the historical stream is reproduced bit for bit.
+            // expelled. Without expulsions or churn `eligible` is the
+            // identity map, so the historical stream is reproduced bit
+            // for bit; the per-round draw consumes a fresh generator,
+            // so an all-absent round doesn't shift later draws.
             let participating: Vec<bool> = match self.config.participation {
-                Participation::Full => vec![true; n],
+                Participation::Full => {
+                    let mut v = vec![false; n];
+                    for &c in &eligible {
+                        v[c] = true;
+                    }
+                    v
+                }
+                Participation::Sample { .. } if eligible.is_empty() => vec![false; n],
                 Participation::Sample { fraction } => {
                     let m = ((eligible.len() as f64 * fraction).ceil() as usize)
                         .clamp(1, eligible.len());
@@ -313,14 +476,22 @@ impl Simulation {
                         .and_then(|p| p.fault_for(self.config.seed, round, c))
                 })
                 .collect();
-            let mut faults_injected = 0usize;
+            let mut fault_totals = FaultTotals::default();
             for (client, fault) in fault_of.iter().enumerate() {
                 let Some(kind) = fault else { continue };
-                faults_injected += 1;
                 trace::counter(match kind {
-                    FaultKind::Dropout => "sim.faults.dropout",
-                    FaultKind::Straggler { .. } => "sim.faults.straggler",
-                    FaultKind::Corrupt(_) => "sim.faults.corrupt",
+                    FaultKind::Dropout => {
+                        fault_totals.dropouts += 1;
+                        "sim.faults.dropout"
+                    }
+                    FaultKind::Straggler { .. } => {
+                        fault_totals.stragglers += 1;
+                        "sim.faults.straggler"
+                    }
+                    FaultKind::Corrupt(_) => {
+                        fault_totals.corruptions += 1;
+                        "sim.faults.corrupt"
+                    }
                 })
                 .incr();
                 if trace::active() {
@@ -332,7 +503,10 @@ impl Simulation {
                     );
                 }
             }
-            // Build this round's jobs for honest, active clients.
+            let faults_injected = fault_totals.injected();
+            // Build this round's jobs. Attackers run the honest local
+            // computation (their transform comes later); freeloaders
+            // skip it and echo the previous global update.
             let mut jobs = Vec::new();
             let mut freeloader_updates = Vec::new();
             let mut skipped = 0u64;
@@ -347,7 +521,10 @@ impl Simulation {
                     continue;
                 }
                 match self.config.behaviors[client] {
-                    ClientBehavior::Honest => jobs.push(ClientJob {
+                    ClientBehavior::Honest
+                    | ClientBehavior::SignFlip
+                    | ClientBehavior::Boost
+                    | ClientBehavior::Colluder { .. } => jobs.push(ClientJob {
                         client,
                         rule: self.algorithm.local_rule(client, &global),
                         num_samples: self.fed.client(client).len(),
@@ -392,6 +569,38 @@ impl Simulation {
             updates.append(&mut freeloader_updates);
             updates.sort_by_key(|u| u.client);
             let local_secs = local_span.finish();
+            // Model-update attacks: applied in client order on the
+            // device side of the wire, upstream of compression,
+            // corruption, and validation. A pure per-update transform,
+            // so attacked runs stay bit-identical across thread counts
+            // and backends.
+            let mut attacks_applied = 0usize;
+            for u in &mut updates {
+                let label = adversary::apply(
+                    &self.config.adversary,
+                    self.config.behaviors[u.client],
+                    self.config.seed,
+                    round,
+                    &mut u.delta,
+                    &mut self.coalition_dirs,
+                );
+                let Some(label) = label else { continue };
+                attacks_applied += 1;
+                trace::counter(match label {
+                    "sign_flip" => "sim.attacks.sign_flip",
+                    "boost" => "sim.attacks.boost",
+                    _ => "sim.attacks.collude",
+                })
+                .incr();
+                if trace::active() {
+                    trace::emit(
+                        &trace::Event::new("attack")
+                            .with("round", round)
+                            .with("client", u.client)
+                            .with("attack", label),
+                    );
+                }
+            }
             // The server pipeline (stragglers, deadline, compression,
             // corruption, validation) hands every survivor to the
             // aggregation backend in client order; see
@@ -405,7 +614,9 @@ impl Simulation {
                 self.backend.as_mut(),
             );
             let upload_bytes = outcome.upload_bytes;
-            let updates_rejected = outcome.updates_rejected;
+            fault_totals.deadline_cuts = outcome.deadline_cuts;
+            fault_totals.quarantined = outcome.quarantined;
+            let updates_rejected = outcome.updates_rejected();
             let compress_secs = outcome.compress_secs;
             // Aggregate and advance. A round with no surviving
             // updates (all sampled clients dropped, cut, or
@@ -458,6 +669,11 @@ impl Simulation {
             let eval_secs = eval_span.finish();
             let alphas = self.algorithm.alphas().map(<[f32]>::to_vec);
             let expelled_now = self.algorithm.expelled().len();
+            let mut suspected = self.algorithm.suspected();
+            suspected.sort_unstable();
+            suspected.dedup();
+            let tracked_states = self.algorithm.tracked_client_states();
+            let participants: Vec<usize> = (0..n).filter(|&c| participating[c]).collect();
             trace::counter("sim.rounds").incr();
             let round_secs = round_span.finish();
             if trace::active() {
@@ -469,6 +685,9 @@ impl Simulation {
                     .with("expelled", expelled_now)
                     .with("faults_injected", faults_injected)
                     .with("updates_rejected", updates_rejected)
+                    .with("attacks_applied", attacks_applied)
+                    .with("suspected", suspected.len())
+                    .with("tracked_states", tracked_states)
                     .with("upload_bytes", upload_bytes)
                     .with("train_loss", train_loss)
                     .with("train_loss_carried", train_loss_carried)
@@ -507,6 +726,11 @@ impl Simulation {
                 upload_bytes,
                 faults_injected,
                 updates_rejected,
+                participants,
+                suspected,
+                attacks_applied,
+                fault_totals,
+                tracked_states,
             });
         }
         trace::flush();
@@ -1115,6 +1339,188 @@ mod tests {
             .run()
         };
         assert_eq!(zero_timing(history), zero_timing(h2));
+    }
+
+    #[test]
+    fn inert_adversary_churn_and_drift_match_a_plain_run() {
+        let hyper = HyperParams::new(4, 5, 0.05, 16);
+        let plain = SimConfig::new(hyper, 4, 13);
+        let decorated = SimConfig::new(hyper, 4, 13)
+            .with_adversary(AdversaryPlan::new())
+            .with_churn(ChurnTrace::new(4))
+            .with_drift(DriftSchedule::inert());
+        let h_plain = zero_timing(
+            Simulation::new(
+                small_fed(4, 33),
+                mlp(33),
+                Box::new(FedAvg::default()),
+                plain,
+            )
+            .run(),
+        );
+        let h_deco = zero_timing(
+            Simulation::new(
+                small_fed(4, 33),
+                mlp(33),
+                Box::new(FedAvg::default()),
+                decorated,
+            )
+            .run(),
+        );
+        assert_eq!(h_plain, h_deco);
+        assert_eq!(h_deco.total_attacks_applied(), 0);
+    }
+
+    #[test]
+    fn attacked_histories_are_bit_identical_parallel_or_not() {
+        let hyper = HyperParams::new(5, 4, 0.05, 16);
+        let behaviors = vec![
+            ClientBehavior::SignFlip,
+            ClientBehavior::Colluder { coalition: 0 },
+            ClientBehavior::Colluder { coalition: 0 },
+            ClientBehavior::Honest,
+            ClientBehavior::Honest,
+        ];
+        let run = |sequential: bool| {
+            let config = SimConfig::new(hyper, 5, 61).with_behaviors(behaviors.clone());
+            let config = if sequential {
+                config.sequential()
+            } else {
+                config
+            };
+            Simulation::new(
+                small_fed(5, 34),
+                mlp(34),
+                Box::new(FedAvg::default()),
+                config,
+            )
+            .run()
+        };
+        let parallel_a = zero_timing(run(false));
+        let parallel_b = zero_timing(run(false));
+        let sequential = zero_timing(run(true));
+        assert_eq!(
+            parallel_a.total_attacks_applied(),
+            3 * 5,
+            "every attacker attacks every round"
+        );
+        assert_eq!(parallel_a, parallel_b);
+        assert_eq!(parallel_a, sequential);
+    }
+
+    #[test]
+    fn sleeper_attacks_start_on_schedule() {
+        let hyper = HyperParams::new(3, 3, 0.05, 8);
+        let config = SimConfig::new(hyper, 4, 15)
+            .with_behaviors(vec![
+                ClientBehavior::Boost,
+                ClientBehavior::Honest,
+                ClientBehavior::Honest,
+            ])
+            .with_adversary(AdversaryPlan::new().starting_at(2));
+        let history = Simulation::new(
+            small_fed(3, 35),
+            mlp(35),
+            Box::new(FedAvg::default()),
+            config,
+        )
+        .run();
+        assert_eq!(history.rounds[0].attacks_applied, 0);
+        assert_eq!(history.rounds[1].attacks_applied, 0);
+        assert_eq!(history.rounds[2].attacks_applied, 1);
+        assert_eq!(history.rounds[3].attacks_applied, 1);
+    }
+
+    #[test]
+    fn churn_drives_the_lifecycle_hooks_and_state_probe() {
+        // SCAFFOLD materializes a client's variate on first
+        // aggregation and drops it on departure, which the
+        // tracked-states probe observes round by round.
+        let hyper = HyperParams::new(3, 3, 0.05, 8);
+        let trace = ChurnTrace::new(3).departs(2, 2).joins(2, 4);
+        let config = SimConfig::new(hyper, 6, 23).with_churn(trace);
+        let history = Simulation::new(
+            small_fed(3, 36),
+            mlp(36),
+            Box::new(taco_core::Scaffold::new(3, 1.0)),
+            config,
+        )
+        .run();
+        assert_eq!(history.rounds.len(), 6);
+        // Rounds 0-1: all three trained, three variates held.
+        assert_eq!(history.rounds[1].tracked_states, 3);
+        // Rounds 2-3: client 2 departed, its variate dropped.
+        assert_eq!(history.rounds[2].tracked_states, 2);
+        assert_eq!(history.rounds[3].tracked_states, 2);
+        // Round 4: rejoined and re-materialized from scratch.
+        assert_eq!(history.rounds[4].tracked_states, 3);
+        assert_eq!(history.rounds[2].participants, vec![0, 1]);
+        assert_eq!(history.rounds[4].participants, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_absent_round_holds_the_model_and_training_continues() {
+        let hyper = HyperParams::new(2, 3, 0.05, 8);
+        let trace = ChurnTrace::new(2)
+            .departs(0, 1)
+            .departs(1, 1)
+            .joins(0, 2)
+            .joins(1, 2);
+        let config = SimConfig::new(hyper, 4, 27).with_churn(trace);
+        let history = Simulation::new(
+            small_fed(2, 37),
+            mlp(37),
+            Box::new(FedAvg::default()),
+            config,
+        )
+        .run();
+        assert_eq!(history.rounds.len(), 4, "absent round ended the run");
+        assert!(history.rounds[1].participants.is_empty());
+        assert_eq!(
+            history.rounds[1].test_accuracy,
+            history.rounds[0].test_accuracy
+        );
+        assert!(history.rounds[1].train_loss_carried);
+        assert_eq!(history.rounds[2].participants, vec![0, 1]);
+    }
+
+    #[test]
+    fn drift_repartitions_on_cadence_and_stays_deterministic() {
+        let _guard = trace::test_guard();
+        let sink = Arc::new(trace::MemorySink::new());
+        let prev = trace::set_sink(sink.clone());
+        let hyper = HyperParams::new(4, 4, 0.05, 16);
+        let schedule = DriftSchedule::new(0.5, 0.1, 2, 8);
+        let run = || {
+            Simulation::new(
+                small_fed(4, 38),
+                mlp(38),
+                Box::new(FedAvg::default()),
+                SimConfig::new(hyper, 8, 29).with_drift(schedule),
+            )
+            .run()
+        };
+        let h1 = zero_timing(run());
+        let h2 = zero_timing(run());
+        trace::set_sink(prev);
+        trace::clear_sink();
+        assert_eq!(h1, h2);
+        assert_eq!(h1.rounds.len(), 8);
+        // Rounds 2, 4, 6 re-partition (round 0 keeps the initial
+        // partition); two identical runs double the event count.
+        let drifts = sink.events_of_kind("drift");
+        assert_eq!(drifts.len(), 2 * 3);
+        for e in &drifts {
+            let phi = e.field("phi").and_then(trace::Value::as_f64);
+            assert!(phi.is_some_and(|p| p > 0.0 && p <= 0.5), "phi {phi:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "churn trace covers")]
+    fn churn_client_count_mismatch_panics() {
+        let hyper = HyperParams::new(3, 1, 0.1, 1);
+        let _ = SimConfig::new(hyper, 1, 1).with_churn(ChurnTrace::new(2));
     }
 
     #[test]

@@ -19,10 +19,19 @@ use taco_trace as trace;
 pub(crate) struct UploadOutcome {
     /// Accounted wire bytes for the uploads that arrived.
     pub(crate) upload_bytes: usize,
-    /// Deadline cuts + quarantined uploads.
-    pub(crate) updates_rejected: usize,
+    /// Uploads cut by the synchronous deadline.
+    pub(crate) deadline_cuts: usize,
+    /// Uploads quarantined by validation.
+    pub(crate) quarantined: usize,
     /// Seconds spent in the compression phase span.
     pub(crate) compress_secs: f64,
+}
+
+impl UploadOutcome {
+    /// Deadline cuts + quarantined uploads.
+    pub(crate) fn updates_rejected(&self) -> usize {
+        self.deadline_cuts + self.quarantined
+    }
 }
 
 /// Runs the pipeline over this round's raw uploads (already sorted in
@@ -41,7 +50,8 @@ pub(crate) fn process_uploads(
     // slowdown) so that cuts are deterministic; the measured wall
     // clock is only inflated for the timing metrics. Late uploads
     // never arrive, so they cost no accounted bytes.
-    let mut updates_rejected = 0usize;
+    let mut deadline_cuts = 0usize;
+    let mut quarantined = 0usize;
     if let Some(plan) = &config.fault_plan {
         for u in &mut updates {
             if let Some(FaultKind::Straggler { factor }) = fault_of[u.client] {
@@ -55,7 +65,7 @@ pub(crate) fn process_uploads(
                     _ => 1.0,
                 };
                 if deadline.misses(u.steps, slowdown) {
-                    updates_rejected += 1;
+                    deadline_cuts += 1;
                     trace::counter("sim.faults.deadline_cut").incr();
                     if trace::active() {
                         trace::emit(
@@ -103,7 +113,7 @@ pub(crate) fn process_uploads(
             match plan.validation.validate(&u) {
                 Ok(()) => backend.accept_update(u),
                 Err(reason) => {
-                    updates_rejected += 1;
+                    quarantined += 1;
                     trace::counter("sim.faults.rejected").incr();
                     if trace::active() {
                         trace::emit(
@@ -125,7 +135,8 @@ pub(crate) fn process_uploads(
     }
     UploadOutcome {
         upload_bytes,
-        updates_rejected,
+        deadline_cuts,
+        quarantined,
         compress_secs,
     }
 }

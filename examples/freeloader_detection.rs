@@ -47,7 +47,8 @@ fn main() {
         );
     }
 
-    let score = detection::score(&history.expelled_clients, &behaviors);
+    let participated = history.participation_mask(behaviors.len());
+    let score = detection::score(&history.expelled_clients, &behaviors, Some(&participated));
     println!("\nexpelled clients: {:?}", history.expelled_clients);
     println!("detection: {score}");
     println!("final accuracy: {:.1}%", history.final_accuracy() * 100.0);

@@ -36,6 +36,18 @@ pub fn golden_run(
     parallel: bool,
     backend: Option<BackendChoice>,
 ) -> History {
+    golden_run_configured(alg, parallel, backend, |c| c)
+}
+
+/// [`golden_run`] with a config decorator, for suites that must prove
+/// an addition (adversary plan, churn trace, drift schedule) is inert
+/// against the committed fixtures.
+pub fn golden_run_configured(
+    alg: Box<dyn FederatedAlgorithm>,
+    parallel: bool,
+    backend: Option<BackendChoice>,
+    decorate: impl FnOnce(SimConfig) -> SimConfig,
+) -> History {
     let clients = 4;
     let fed = tabular_fed(clients, 11, 0.3);
     let hyper = HyperParams::new(clients, 6, 0.05, 16);
@@ -44,7 +56,7 @@ pub fn golden_run(
     if let Some(b) = backend {
         config = config.with_backend(b);
     }
-    Simulation::new(fed, mlp(11), alg, config).run()
+    Simulation::new(fed, mlp(11), alg, decorate(config)).run()
 }
 
 /// Serializes the deterministic parts of a history. Wall-clock fields
