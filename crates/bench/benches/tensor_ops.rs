@@ -17,7 +17,7 @@ use taco_tensor::pool::{self, Pool};
 use taco_tensor::{linalg, ops, Prng, Tensor};
 
 fn smoke() -> bool {
-    std::env::var("TACO_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+    taco_trace::env::bench_smoke()
 }
 
 fn iters(full: usize) -> usize {

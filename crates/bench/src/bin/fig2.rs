@@ -15,10 +15,7 @@ fn main() {
     );
     let scale = Scale::from_env();
     let clients = 8;
-    let seeds: u64 = std::env::var("TACO_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let seeds: u64 = taco_trace::env::seeds().unwrap_or(3);
     for ds in ["fmnist", "svhn"] {
         let mut acc_rows = Vec::new();
         let mut time_rows = Vec::new();

@@ -45,12 +45,13 @@ const SUITE_SCALE: Scale = Scale {
 const SUITE_CLIENTS: usize = 8;
 const SUITE_SEED: u64 = 42;
 
+/// Salt folded into [`SUITE_SEED`] for the flat-vector kernel inputs,
+/// so the perf-suite measurement stream stays independent of the
+/// shape-sweep and workload streams derived from the same seed.
+const FLAT_OPS_SALT: u64 = 0x5A4D;
+
 fn repeats() -> usize {
-    std::env::var("TACO_PERF_REPEATS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(5)
+    trace::env::perf_repeats().unwrap_or(5)
 }
 
 fn hist_sum(snap: &trace::Snapshot, name: &str) -> f64 {
@@ -137,7 +138,7 @@ fn shard_aggregate_ms(choice: BackendChoice, reps: usize) -> f64 {
     const DIM: usize = 262_144;
     const CLIENTS: usize = 32;
     const ROUNDS: usize = 6;
-    let mut rng = Prng::seed_from_u64(SUITE_SEED ^ 0x5A4D);
+    let mut rng = Prng::seed_from_u64(SUITE_SEED ^ FLAT_OPS_SALT);
     let per_round: Vec<Vec<ClientUpdate>> = (0..ROUNDS)
         .map(|_| {
             (0..CLIENTS)
@@ -328,10 +329,8 @@ fn main() {
         metrics,
         spans,
     };
-    let out = std::env::var_os("TACO_BENCH_OUT").map_or_else(
-        || std::path::PathBuf::from("BENCH_perf_suite.json"),
-        Into::into,
-    );
+    let out = trace::env::bench_out()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_perf_suite.json"));
     match report.write(&out) {
         Ok(()) => println!("\nwrote {}", out.display()),
         Err(e) => {

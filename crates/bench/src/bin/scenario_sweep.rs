@@ -132,10 +132,7 @@ fn main() {
         "Scenario sweep: detection scoreboard under attacks, churn, and drift (adult)",
         "extends Table VIII: TPR/FPR and time-to-detection per algorithm across the threat grid",
     );
-    let smoke = matches!(
-        std::env::var("TACO_SCENARIO_SMOKE").as_deref(),
-        Ok("1" | "true")
-    );
+    let smoke = taco_trace::env::scenario_smoke();
     let scale = Scale::from_env();
     let w = workload("adult", CLIENTS, SEED, scale, None);
     let mut scenario_list = scenarios(&w);

@@ -15,10 +15,7 @@ fn main() {
     );
     let scale = Scale::from_env();
     let clients = 8;
-    let seeds: u64 = std::env::var("TACO_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let seeds: u64 = taco_trace::env::seeds().unwrap_or(1);
     let datasets = [
         "adult",
         "fmnist",

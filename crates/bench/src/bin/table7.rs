@@ -15,10 +15,7 @@ fn main() {
     let mut scale = Scale::from_env();
     // 100 clients need enough total data for everyone to hold a shard.
     scale.train_n = scale.train_n.max(1500);
-    let clients: usize = std::env::var("TACO_CLIENTS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let clients: usize = taco_trace::env::clients().unwrap_or(100);
     let mut rows = Vec::new();
     for ds in ["adult", "femnist", "cifar100"] {
         let w = workload(ds, clients, 71, scale, None);

@@ -33,6 +33,16 @@ use taco_sim::{
 use taco_tensor::Prng;
 use taco_trace::Value;
 
+/// Salt folded into the run seed for workload data generation, so the
+/// dataset-synthesis stream never aliases model init or the simulation
+/// streams derived from the same seed.
+const WORKLOAD_DATA_SALT: u64 = 0xDA7A;
+
+/// Salt folded into the run seed for model-parameter initialisation,
+/// kept distinct from [`WORKLOAD_DATA_SALT`] so data and weights draw
+/// from independent streams.
+const MODEL_INIT_SALT: u64 = 0x0DE1;
+
 /// Experiment scale knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
@@ -75,8 +85,8 @@ impl Scale {
     /// Reads the scale from the `TACO_SCALE` environment variable
     /// (`quick` default, `paper` for the larger runs).
     pub fn from_env() -> Self {
-        match std::env::var("TACO_SCALE").as_deref() {
-            Ok("paper") => Scale::paper(),
+        match taco_trace::env::scale_name().as_deref() {
+            Some("paper") => Scale::paper(),
             _ => Scale::quick(),
         }
     }
@@ -134,8 +144,8 @@ pub fn workload(
     scale: Scale,
     partition_override: Option<PartitionKind>,
 ) -> Workload {
-    let mut rng = Prng::seed_from_u64(seed ^ 0xDA7A);
-    let mut model_rng = Prng::seed_from_u64(seed ^ 0x0DE1);
+    let mut rng = Prng::seed_from_u64(seed ^ WORKLOAD_DATA_SALT);
+    let mut model_rng = Prng::seed_from_u64(seed ^ MODEL_INIT_SALT);
     let (fed, model, default_target, groups): (
         FederatedDataset,
         Box<dyn Model>,
@@ -552,8 +562,8 @@ pub fn build_info() -> Value {
 
 fn scale_info() -> Value {
     let scale = Scale::from_env();
-    let name = match std::env::var("TACO_SCALE").as_deref() {
-        Ok("paper") => "paper",
+    let name = match taco_trace::env::scale_name().as_deref() {
+        Some("paper") => "paper",
         _ => "quick",
     };
     Value::object(vec![
@@ -662,8 +672,7 @@ pub fn report_csv_only(name: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// `TACO_RESULTS_DIR` environment variable (tests point it at a
 /// scratch directory).
 pub fn results_dir() -> std::path::PathBuf {
-    std::env::var_os("TACO_RESULTS_DIR")
-        .map_or_else(|| std::path::PathBuf::from("results"), Into::into)
+    taco_trace::env::results_dir().unwrap_or_else(|| std::path::PathBuf::from("results"))
 }
 
 fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {

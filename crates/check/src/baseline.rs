@@ -70,12 +70,20 @@ pub fn apply(
     let mut kept = Vec::new();
     let mut baselined = 0usize;
     for f in findings {
-        match entries.iter().position(|e| e.matches(&f)) {
-            Some(i) => {
+        // Mark every matching entry used: several findings can share a
+        // location (two D8 modes on one read site), and a repeated
+        // entry must not surface as stale.
+        let mut matched = false;
+        for (i, e) in entries.iter().enumerate() {
+            if e.matches(&f) {
                 used[i] = true;
-                baselined += 1;
+                matched = true;
             }
-            None => kept.push(f),
+        }
+        if matched {
+            baselined += 1;
+        } else {
+            kept.push(f);
         }
     }
     let stale = entries
@@ -92,12 +100,7 @@ mod tests {
     use super::*;
 
     fn finding(rule: RuleId, file: &str, line: u32) -> Finding {
-        Finding {
-            rule,
-            file: file.to_string(),
-            line,
-            message: String::new(),
-        }
+        Finding::new(rule, file, line, String::new())
     }
 
     #[test]
@@ -123,6 +126,22 @@ mod tests {
         assert_eq!(baselined, 1);
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn duplicate_entries_are_not_stale() {
+        // Two findings on one location (D8 can report a read site in
+        // two modes) round-trip through a baseline that repeats the
+        // entry — neither copy may surface as stale.
+        let (entries, _) = parse("D8 a.rs:1\nD8 a.rs:1\n");
+        let findings = vec![
+            finding(RuleId::D8EnvRegistry, "a.rs", 1),
+            finding(RuleId::D8EnvRegistry, "a.rs", 1),
+        ];
+        let (kept, baselined, stale) = apply(findings, &entries);
+        assert!(kept.is_empty());
+        assert_eq!(baselined, 2);
+        assert!(stale.is_empty());
     }
 
     #[test]

@@ -18,9 +18,11 @@ pub struct Token {
     pub line: u32,
 }
 
-/// Token classes. String/char/number contents are intentionally not
-/// retained: no rule looks inside a literal, and dropping the text
-/// guarantees no rule ever *can*.
+/// Token classes. String and number contents ARE retained (char
+/// literals are not): the workspace model in [`crate::model`] reads
+/// salt values out of `NumLit`s and env/span names out of `StrLit`s.
+/// Lexical rules in [`crate::rules`] still never match literal text
+/// against code patterns — a literal token is opaque to them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokenKind {
     /// Identifier or keyword. Raw identifiers (`r#fn`) are unescaped
@@ -31,13 +33,17 @@ pub enum TokenKind {
     Lifetime(String),
     /// `'x'`, `'\n'`, `'\u{1F600}'`, and byte chars `b'x'`.
     CharLit,
-    /// `"..."` and `b"..."`, escapes handled.
-    StrLit,
+    /// `"..."` and `b"..."`. The text is the body between the quotes
+    /// with escape sequences kept verbatim (`\n` stays two chars) —
+    /// exact enough for the ASCII identifier-like names the model
+    /// cares about.
+    StrLit(String),
     /// `r"..."`, `r#"..."#` (any number of hashes), and `br`/`rb`
-    /// byte variants.
-    RawStrLit,
-    /// Integer or float literal, including prefixes/suffixes.
-    NumLit,
+    /// byte variants; text is the body between the delimiters.
+    RawStrLit(String),
+    /// Integer or float literal, including prefixes/suffixes, with
+    /// the source spelling retained (`0x9A97`, `1.5e-3f64`).
+    NumLit(String),
     /// A single punctuation character. Multi-char operators (`::`,
     /// `->`) appear as consecutive `Punct` tokens; rules match the
     /// sequence.
@@ -58,6 +64,14 @@ impl TokenKind {
     pub fn comment_text(&self) -> Option<&str> {
         match self {
             TokenKind::LineComment(t) | TokenKind::BlockComment(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The string-literal body, if this is a (raw) string literal.
+    pub fn str_text(&self) -> Option<&str> {
+        match self {
+            TokenKind::StrLit(t) | TokenKind::RawStrLit(t) => Some(t),
             _ => None,
         }
     }
@@ -119,8 +133,8 @@ impl Lexer {
                 '/' => self.slash(line),
                 '"' => {
                     self.bump();
-                    self.string_body();
-                    self.push(TokenKind::StrLit, line);
+                    let text = self.string_body();
+                    self.push(TokenKind::StrLit(text), line);
                 }
                 '\'' => self.quote(line),
                 c if c.is_ascii_digit() => self.number(line),
@@ -187,17 +201,23 @@ impl Lexer {
         }
     }
 
-    /// Body of a `"` string, opening quote already consumed.
-    fn string_body(&mut self) {
+    /// Body of a `"` string, opening quote already consumed. Returns
+    /// the body text with escape sequences kept verbatim.
+    fn string_body(&mut self) -> String {
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump(); // the escaped char, whatever it is
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e); // the escaped char, whatever it is
+                    }
                 }
-                '"' => return,
-                _ => {}
+                '"' => return text,
+                _ => text.push(c),
             }
         }
+        text // unterminated: EOF closes
     }
 
     /// `'` — char literal or lifetime. The ambiguity: `'a'` is a char,
@@ -263,6 +283,7 @@ impl Lexer {
     /// part only when `.` is followed by a digit (so `0..10` lexes as
     /// `0` `.` `.` `10`), exponents, and alphanumeric suffixes.
     fn number(&mut self, line: u32) {
+        let start = self.pos;
         while let Some(c) = self.peek(0) {
             if c.is_alphanumeric() || c == '_' {
                 // Exponent sign: 1e-3 / 1E+3.
@@ -280,7 +301,8 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokenKind::NumLit, line);
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::NumLit(text), line);
     }
 
     /// Identifier, keyword, raw identifier, or a string literal with
@@ -300,8 +322,8 @@ impl Lexer {
                         self.bump();
                     }
                     self.bump(); // "
-                    self.raw_string_body(hashes);
-                    self.push(TokenKind::RawStrLit, line);
+                    let text = self.raw_string_body(hashes);
+                    self.push(TokenKind::RawStrLit(text), line);
                     return;
                 }
                 Some(k) if hashes == 1 && is_ident_start(k) => {
@@ -326,8 +348,8 @@ impl Lexer {
                 Some('"') => {
                     self.bump();
                     self.bump();
-                    self.string_body();
-                    self.push(TokenKind::StrLit, line);
+                    let text = self.string_body();
+                    self.push(TokenKind::StrLit(text), line);
                     return;
                 }
                 Some('r') => {
@@ -342,8 +364,8 @@ impl Lexer {
                             self.bump();
                         }
                         self.bump(); // "
-                        self.raw_string_body(hashes);
-                        self.push(TokenKind::RawStrLit, line);
+                        let text = self.raw_string_body(hashes);
+                        self.push(TokenKind::RawStrLit(text), line);
                         return;
                     }
                 }
@@ -369,8 +391,10 @@ impl Lexer {
 
     /// Body of a raw string opened with `hashes` hashes; the opening
     /// `"` is already consumed. Ends at `"` followed by that many
-    /// hashes — quotes and backslashes inside are plain text.
-    fn raw_string_body(&mut self, hashes: usize) {
+    /// hashes — quotes and backslashes inside are plain text. Returns
+    /// the body text.
+    fn raw_string_body(&mut self, hashes: usize) -> String {
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             if c == '"' {
                 let mut n = 0usize;
@@ -381,10 +405,12 @@ impl Lexer {
                     for _ in 0..hashes {
                         self.bump();
                     }
-                    return;
+                    return text;
                 }
             }
+            text.push(c);
         }
+        text // unterminated: EOF closes
     }
 }
 
@@ -434,7 +460,7 @@ mod tests {
                 TokenKind::Ident("let".into()),
                 TokenKind::Ident("x".into()),
                 TokenKind::Punct('='),
-                TokenKind::RawStrLit,
+                TokenKind::RawStrLit(r#"thread::spawn("quoted")"#.into()),
                 TokenKind::Punct(';'),
             ]
         );
@@ -467,13 +493,16 @@ mod tests {
         assert_eq!(
             kinds("0..10"),
             vec![
-                TokenKind::NumLit,
+                TokenKind::NumLit("0".into()),
                 TokenKind::Punct('.'),
                 TokenKind::Punct('.'),
-                TokenKind::NumLit,
+                TokenKind::NumLit("10".into()),
             ]
         );
-        assert_eq!(kinds("1.5e-3f64"), vec![TokenKind::NumLit]);
+        assert_eq!(
+            kinds("1.5e-3f64"),
+            vec![TokenKind::NumLit("1.5e-3f64".into())]
+        );
     }
 
     #[test]
@@ -490,7 +519,29 @@ mod tests {
     #[test]
     fn byte_literals() {
         assert_eq!(kinds("b'x'"), vec![TokenKind::CharLit]);
-        assert_eq!(kinds("b\"bytes\""), vec![TokenKind::StrLit]);
-        assert_eq!(kinds("br#\"raw \" bytes\"#"), vec![TokenKind::RawStrLit]);
+        assert_eq!(kinds("b\"bytes\""), vec![TokenKind::StrLit("bytes".into())]);
+        assert_eq!(
+            kinds("br#\"raw \" bytes\"#"),
+            vec![TokenKind::RawStrLit("raw \" bytes".into())]
+        );
+    }
+
+    #[test]
+    fn literal_text_is_retained() {
+        assert_eq!(
+            kinds(r#"env::var("TACO_TRACE")"#),
+            vec![
+                TokenKind::Ident("env".into()),
+                TokenKind::Punct(':'),
+                TokenKind::Punct(':'),
+                TokenKind::Ident("var".into()),
+                TokenKind::Punct('('),
+                TokenKind::StrLit("TACO_TRACE".into()),
+                TokenKind::Punct(')'),
+            ]
+        );
+        assert_eq!(kinds("0x9A97"), vec![TokenKind::NumLit("0x9A97".into())]);
+        // Escapes stay verbatim — good enough for identifier-like names.
+        assert_eq!(kinds("\"a\\nb\""), vec![TokenKind::StrLit("a\\nb".into())]);
     }
 }

@@ -13,22 +13,36 @@
 //! | D4   | unwrap          | no `.unwrap()`/`.expect()` in core/sim/nn/data library code |
 //! | D5   | safety-comment  | every `unsafe` carries a `// SAFETY:` justification  |
 //! | D6   | float-reduction | no ad-hoc `.sum()`/`.fold()` in core aggregation     |
+//! | D7   | salt-discipline | named seed salts, pairwise-distinct workspace-wide   |
+//! | D8   | env-registry    | `TACO_*` reads via `taco_trace::env`, declared + documented |
+//! | D9   | span-contract   | span names resolve to the `sim::phase` contract      |
+//!
+//! D1–D6 are per-file lexical rules; D7–D9 are *cross-file* rules: a
+//! collection pass ([`model`]) walks every file building a workspace
+//! model (salt constants with values, env read sites and the registry,
+//! span-name literals and the phase contract), then the workspace pass
+//! ([`workspace_rules`]) checks the model's global invariants. Both
+//! passes share one tree walk.
 //!
 //! Escape hatches: an inline `// taco-check: allow(rule, reason)`
-//! pragma on the finding's line (or the line above), and a committed
+//! pragma on the finding's line (or the line above) — for a cross-file
+//! finding, a pragma at either anchor suppresses it — and a committed
 //! baseline file (`taco-check.baseline`) for legacy findings being
-//! burned down. Run as `cargo run -p taco-check` or via the workspace
-//! test; diagnostics print `file:line` and a JSON report is available
-//! with `--json`.
+//! burned down (the baseline matches a finding's primary location).
+//! Run as `cargo run -p taco-check` or via the workspace test;
+//! diagnostics print `file:line` and a JSON report is available with
+//! `--json`.
 //!
 //! The crate has zero dependencies and a hand-rolled lexer
 //! ([`lexer`]), so it builds instantly anywhere the workspace builds.
 
 pub mod baseline;
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
 pub mod walker;
+pub mod workspace_rules;
 
 use report::Report;
 use std::path::{Path, PathBuf};
@@ -47,22 +61,70 @@ pub struct Config {
 /// instead.
 const SKIP_DIRS: [&str; 5] = ["target", ".git", "fixtures", "results", "node_modules"];
 
-/// Scans every `.rs` file under `config.root` and returns the report.
+/// Scans every `.rs` file under `config.root` (plus the README/
+/// EXPERIMENTS docs for the env cross-check) and returns the report.
+///
+/// Phase 1 walks each file once: the per-file rules run and the
+/// collection pass feeds the workspace model. Phase 2 runs the
+/// cross-file rules over the model, re-using each file's pragmas so
+/// a workspace finding can be suppressed at either of its anchors.
+/// Files that cannot be read (I/O error, non-UTF-8) are never
+/// silently skipped: they are reported and fail the run.
 pub fn run(config: &Config) -> Report {
     let mut files = Vec::new();
     collect_rs_files(&config.root, &mut files);
     files.sort();
+
     let mut findings = Vec::new();
     let mut suppressed = 0usize;
+    let mut unreadable = Vec::new();
+    let mut builder = model::ModelBuilder::new();
+    let mut pragmas_by_file: Vec<(String, std::collections::BTreeMap<u32, Vec<rules::Pragma>>)> =
+        Vec::new();
+
     for path in &files {
-        let Ok(src) = std::fs::read_to_string(path) else {
-            continue;
-        };
         let rel = rel_path(&config.root, path);
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => {
+                unreadable.push(format!("{rel}: {e}"));
+                continue;
+            }
+        };
         let ctx = walker::classify(&rel);
         let idx = walker::FileIndex::build(&lexer::lex(&src));
         findings.extend(rules::check_file(&ctx, &idx, &mut suppressed));
+        builder.add_file(&ctx, &idx);
+        pragmas_by_file.push((rel, rules::collect_pragmas(&idx)));
     }
+
+    for doc in model::DOC_FILES {
+        if let Ok(text) = std::fs::read_to_string(config.root.join(doc)) {
+            builder.add_doc(doc, &text);
+        }
+    }
+
+    let ws_model = builder.finish();
+    let mut ws_findings = Vec::new();
+    workspace_rules::check(&ws_model, &mut ws_findings);
+    let pragma_at = |file: &str, rule: rules::RuleId, line: u32| {
+        pragmas_by_file
+            .iter()
+            .find(|(f, _)| f == file)
+            .is_some_and(|(_, p)| rules::pragma_allows(p, rule, line))
+    };
+    ws_findings.retain(|f| {
+        let hit = pragma_at(&f.file, f.rule, f.line)
+            || f.related
+                .as_ref()
+                .is_some_and(|(file, line)| pragma_at(file, f.rule, *line));
+        if hit {
+            suppressed += 1;
+        }
+        !hit
+    });
+    findings.extend(ws_findings);
+
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     let (entries, malformed) = baseline::parse(&config.baseline);
     let (kept, baselined, stale) = baseline::apply(findings, &entries);
@@ -74,6 +136,7 @@ pub fn run(config: &Config) -> Report {
         stale_baseline: stale,
         malformed_baseline: malformed,
         files_scanned: files.len(),
+        unreadable,
     }
 }
 

@@ -7,7 +7,8 @@
 //! * `--quiet`           — suppress per-finding lines, print the summary only
 //!
 //! Exit status: 0 when no unsuppressed findings remain, 1 otherwise,
-//! 2 on usage errors.
+//! 2 on usage errors or when any workspace file could not be read
+//! (I/O error, non-UTF-8) — an incomplete scan never passes silently.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -67,7 +68,11 @@ fn main() -> ExitCode {
     } else {
         print!("{text}");
     }
-    if report.failed() {
+    if report.incomplete() {
+        // The findings list may be misleadingly short when files were
+        // skipped, so this outranks plain failure.
+        ExitCode::from(2)
+    } else if report.failed() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

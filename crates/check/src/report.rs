@@ -22,6 +22,9 @@ pub struct Report {
     pub malformed_baseline: Vec<String>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Files that could not be read (`path: error`). Non-empty ⇒ the
+    /// scan was incomplete ⇒ exit 2, never a silent pass.
+    pub unreadable: Vec<String>,
 }
 
 impl Report {
@@ -30,11 +33,17 @@ impl Report {
         !self.findings.is_empty()
     }
 
+    /// True when the scan itself was incomplete (unreadable files):
+    /// the CLI exits 2, distinct from "findings exist".
+    pub fn incomplete(&self) -> bool {
+        !self.unreadable.is_empty()
+    }
+
     /// Renders the JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str("  \"version\": 1,\n");
+        s.push_str("  \"version\": 2,\n");
         s.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str(&format!(
@@ -50,8 +59,15 @@ impl Report {
             if i > 0 {
                 s.push(',');
             }
+            let related = match &f.related {
+                Some((file, line)) => format!(
+                    ", \"related\": {{\"file\": {}, \"line\": {line}}}",
+                    json_str(file)
+                ),
+                None => String::new(),
+            };
             s.push_str(&format!(
-                "\n    {{\"rule\": {}, \"slug\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                "\n    {{\"rule\": {}, \"slug\": {}, \"file\": {}, \"line\": {}, \"message\": {}{related}}}",
                 json_str(f.rule.id()),
                 json_str(f.rule.slug()),
                 json_str(&f.file),
@@ -78,6 +94,14 @@ impl Report {
             }
             s.push_str(&json_str(e));
         }
+        s.push_str("],\n");
+        s.push_str("  \"unreadable\": [");
+        for (i, e) in self.unreadable.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(e));
+        }
         s.push_str("]\n}\n");
         s
     }
@@ -95,6 +119,12 @@ impl Report {
                 f.rule.slug(),
                 f.message
             ));
+            if let Some((file, line)) = &f.related {
+                s.push_str(&format!("    related: {file}:{line}\n"));
+            }
+        }
+        for e in &self.unreadable {
+            s.push_str(&format!("error: could not read {e}\n"));
         }
         for e in &self.stale_baseline {
             s.push_str(&format!(
@@ -144,22 +174,55 @@ mod tests {
     fn json_escapes_and_shapes() {
         let report = Report {
             root: "/tmp/ws".to_string(),
-            findings: vec![Finding {
-                rule: RuleId::D2WallClock,
-                file: "crates/sim/src/x.rs".to_string(),
-                line: 7,
-                message: "a \"quoted\"\nmessage".to_string(),
-            }],
+            findings: vec![Finding::new(
+                RuleId::D2WallClock,
+                "crates/sim/src/x.rs",
+                7,
+                "a \"quoted\"\nmessage".to_string(),
+            )],
             suppressed_by_pragma: 2,
             suppressed_by_baseline: 1,
             stale_baseline: vec![],
             malformed_baseline: vec![],
             files_scanned: 3,
+            unreadable: vec![],
         };
         let json = report.to_json();
         assert!(json.contains("\"rule\": \"D2\""));
         assert!(json.contains("\\\"quoted\\\"\\nmessage"));
         assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"unreadable\": []"));
+        assert!(!json.contains("\"related\""));
         assert!(report.failed());
+        assert!(!report.incomplete());
+    }
+
+    #[test]
+    fn related_and_unreadable_render_in_both_formats() {
+        let report = Report {
+            root: "/tmp/ws".to_string(),
+            findings: vec![Finding::new(
+                RuleId::D7SaltDiscipline,
+                "crates/bench/src/lib.rs",
+                40,
+                "duplicate salt".to_string(),
+            )
+            .with_related("crates/sim/src/runner.rs", 23)],
+            suppressed_by_pragma: 0,
+            suppressed_by_baseline: 0,
+            stale_baseline: vec![],
+            malformed_baseline: vec![],
+            files_scanned: 2,
+            unreadable: vec!["crates/sim/src/bad.rs: stream did not contain valid UTF-8".into()],
+        };
+        let json = report.to_json();
+        assert!(
+            json.contains("\"related\": {\"file\": \"crates/sim/src/runner.rs\", \"line\": 23}")
+        );
+        assert!(json.contains("\"unreadable\": [\"crates/sim/src/bad.rs"));
+        let text = report.render_text();
+        assert!(text.contains("related: crates/sim/src/runner.rs:23"));
+        assert!(text.contains("error: could not read crates/sim/src/bad.rs"));
+        assert!(report.incomplete());
     }
 }

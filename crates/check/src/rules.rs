@@ -1,11 +1,15 @@
-//! The rule engine: six invariant lints (D1–D6) over the lexed token
-//! stream, plus the `// taco-check: allow(rule, reason)` pragma that
-//! suppresses a finding at its own line or the line below.
+//! The rule engine: six per-file invariant lints (D1–D6) over the
+//! lexed token stream, plus the `// taco-check: allow(rule, reason)`
+//! pragma that suppresses a finding at its own line or the line below.
+//! The cross-file rules D7–D9 live in [`crate::workspace_rules`] and
+//! run over the model built by [`crate::model`]; their identifiers and
+//! the [`Finding`] type are defined here so pragmas, baselines, and
+//! reports treat all nine rules uniformly.
 //!
-//! Rules pattern-match on code-token sequences, so occurrences inside
-//! strings, raw strings, and comments never fire (the lexer guarantees
-//! this), and multi-line call chains still match (token matching is
-//! layout-insensitive).
+//! Per-file rules pattern-match on code-token sequences, so
+//! occurrences inside strings, raw strings, and comments never fire
+//! (the lexer guarantees this), and multi-line call chains still match
+//! (token matching is layout-insensitive).
 
 use crate::lexer::TokenKind;
 use crate::walker::{FileCtx, FileIndex, FileKind};
@@ -42,16 +46,35 @@ pub enum RuleId {
     /// `taco_tensor::ops` so reductions can never be silently
     /// reordered or parallelized.
     D6FloatReduction,
+    /// Salt discipline (workspace rule): every constant salted into a
+    /// seed must be a named `*_SALT`/`*_TAG` constant, the declared
+    /// values must be pairwise distinct workspace-wide (two streams
+    /// sharing a salt silently correlate), and raw hex literals must
+    /// not be XOR'd or split into seeds inline outside tests.
+    D7SaltDiscipline,
+    /// Env registry (workspace rule): every `TACO_*` environment
+    /// variable is read through the `taco_trace::env` accessor module,
+    /// declared exactly once in its registry, and documented in
+    /// README/EXPERIMENTS — typos and undocumented knobs are findings.
+    D8EnvRegistry,
+    /// Span contract (workspace rule): span-name string literals in
+    /// `sim`/`bench` runtime code must resolve to the `sim::phase`
+    /// contract constants (the telemetry schema), and contract
+    /// constants with zero use sites are dangling.
+    D9SpanContract,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 9] = [
     RuleId::D1ThreadSpawn,
     RuleId::D2WallClock,
     RuleId::D3HashIteration,
     RuleId::D4Unwrap,
     RuleId::D5SafetyComment,
     RuleId::D6FloatReduction,
+    RuleId::D7SaltDiscipline,
+    RuleId::D8EnvRegistry,
+    RuleId::D9SpanContract,
 ];
 
 impl RuleId {
@@ -64,6 +87,9 @@ impl RuleId {
             RuleId::D4Unwrap => "D4",
             RuleId::D5SafetyComment => "D5",
             RuleId::D6FloatReduction => "D6",
+            RuleId::D7SaltDiscipline => "D7",
+            RuleId::D8EnvRegistry => "D8",
+            RuleId::D9SpanContract => "D9",
         }
     }
 
@@ -76,6 +102,9 @@ impl RuleId {
             RuleId::D4Unwrap => "unwrap",
             RuleId::D5SafetyComment => "safety-comment",
             RuleId::D6FloatReduction => "float-reduction",
+            RuleId::D7SaltDiscipline => "salt-discipline",
+            RuleId::D8EnvRegistry => "env-registry",
+            RuleId::D9SpanContract => "span-contract",
         }
     }
 
@@ -96,6 +125,30 @@ pub struct Finding {
     pub file: String,
     pub line: u32,
     pub message: String,
+    /// Second anchor for cross-file findings (e.g. the *other* salt
+    /// declaration sharing the value, or the registry the env var is
+    /// missing from). A pragma at either anchor suppresses the
+    /// finding; the baseline matches the primary location only.
+    pub related: Option<(String, u32)>,
+}
+
+impl Finding {
+    /// A single-location finding.
+    pub fn new(rule: RuleId, file: impl Into<String>, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            message,
+            related: None,
+        }
+    }
+
+    /// Attaches the secondary anchor (builder style).
+    pub fn with_related(mut self, file: impl Into<String>, line: u32) -> Finding {
+        self.related = Some((file.into(), line));
+        self
+    }
 }
 
 /// Crates whose library code must be order-deterministic (D3).
@@ -140,14 +193,15 @@ pub fn check_file(ctx: &FileCtx, idx: &FileIndex, suppressed: &mut usize) -> Vec
 
 /// A parsed pragma: which rules it allows, and whether it carried a
 /// reason (pragmas without reasons are themselves diagnosed).
-struct Pragma {
+pub struct Pragma {
     rules: Vec<RuleId>,
     has_reason: bool,
     raw: String,
 }
 
-/// Pragmas by line.
-fn collect_pragmas(idx: &FileIndex) -> BTreeMap<u32, Vec<Pragma>> {
+/// Pragmas by line. Public so the workspace pass in [`crate::run`] can
+/// re-check cross-file findings against each anchor file's pragmas.
+pub fn collect_pragmas(idx: &FileIndex) -> BTreeMap<u32, Vec<Pragma>> {
     let mut out: BTreeMap<u32, Vec<Pragma>> = BTreeMap::new();
     for (&line, texts) in &idx.comments {
         for text in texts {
@@ -184,7 +238,7 @@ fn collect_pragmas(idx: &FileIndex) -> BTreeMap<u32, Vec<Pragma>> {
 
 /// A finding at `line` is suppressed by a well-formed pragma on the
 /// same line (trailing comment) or the line directly above.
-fn pragma_allows(pragmas: &BTreeMap<u32, Vec<Pragma>>, rule: RuleId, line: u32) -> bool {
+pub fn pragma_allows(pragmas: &BTreeMap<u32, Vec<Pragma>>, rule: RuleId, line: u32) -> bool {
     [line, line.saturating_sub(1)].iter().any(|l| {
         pragmas
             .get(l)
@@ -198,26 +252,26 @@ fn pragma_diagnostics(ctx: &FileCtx, pragmas: &BTreeMap<u32, Vec<Pragma>>, out: 
     for (&line, ps) in pragmas {
         for p in ps {
             if p.rules.is_empty() {
-                out.push(Finding {
-                    rule: RuleId::D5SafetyComment, // nearest "hygiene" bucket
-                    file: ctx.rel_path.clone(),
+                out.push(Finding::new(
+                    RuleId::D5SafetyComment, // nearest "hygiene" bucket
+                    ctx.rel_path.clone(),
                     line,
-                    message: format!(
-                        "malformed taco-check pragma `{}`: expected `taco-check: allow(rule, reason)` with rule one of D1-D6 or its slug",
+                    format!(
+                        "malformed taco-check pragma `{}`: expected `taco-check: allow(rule, reason)` with rule one of D1-D9 or its slug",
                         p.raw
                     ),
-                });
+                ));
             } else if !p.has_reason {
-                out.push(Finding {
-                    rule: p.rules[0],
-                    file: ctx.rel_path.clone(),
+                out.push(Finding::new(
+                    p.rules[0],
+                    ctx.rel_path.clone(),
                     line,
-                    message: format!(
+                    format!(
                         "pragma `{}` is missing its reason: write `taco-check: allow({}, why this is sound)`",
                         p.raw,
                         p.rules[0].slug()
                     ),
-                });
+                ));
             }
         }
     }
@@ -263,14 +317,14 @@ fn rule_d1(ctx: &FileCtx, idx: &FileIndex, out: &mut Vec<Finding>) {
     for i in 0..idx.code.len() {
         if let Some((line, what)) = path_pair(idx, i, "thread", &["spawn", "scope", "Builder"]) {
             if in_runtime_scope(ctx, idx, line) {
-                out.push(Finding {
-                    rule: RuleId::D1ThreadSpawn,
-                    file: ctx.rel_path.clone(),
+                out.push(Finding::new(
+                    RuleId::D1ThreadSpawn,
+                    ctx.rel_path.clone(),
                     line,
-                    message: format!(
+                    format!(
                         "`{what}` outside tensor::pool: route parallelism through the shared worker pool so TACO_THREADS stays the single thread budget"
                     ),
-                });
+                ));
             }
         }
     }
@@ -287,14 +341,14 @@ fn rule_d2(ctx: &FileCtx, idx: &FileIndex, out: &mut Vec<Finding>) {
             .or_else(|| path_pair(idx, i, "SystemTime", &["now"]));
         if let Some((line, what)) = hit {
             if in_runtime_scope(ctx, idx, line) {
-                out.push(Finding {
-                    rule: RuleId::D2WallClock,
-                    file: ctx.rel_path.clone(),
+                out.push(Finding::new(
+                    RuleId::D2WallClock,
+                    ctx.rel_path.clone(),
                     line,
-                    message: format!(
+                    format!(
                         "`{what}` outside trace/bench: simulated time must come from the cost model or taco-trace spans, never the wall clock"
                     ),
-                });
+                ));
             }
         }
     }
@@ -307,15 +361,15 @@ fn rule_d3(ctx: &FileCtx, idx: &FileIndex, out: &mut Vec<Finding>) {
     for t in &idx.code {
         if let TokenKind::Ident(name) = &t.kind {
             if (name == "HashMap" || name == "HashSet") && !idx.in_test_region(t.line) {
-                out.push(Finding {
-                    rule: RuleId::D3HashIteration,
-                    file: ctx.rel_path.clone(),
-                    line: t.line,
-                    message: format!(
+                out.push(Finding::new(
+                    RuleId::D3HashIteration,
+                    ctx.rel_path.clone(),
+                    t.line,
+                    format!(
                         "`{name}` in deterministic crate `{}`: iteration order is nondeterministic; use BTreeMap/BTreeSet or an indexed Vec",
                         ctx.crate_name
                     ),
-                });
+                ));
             }
         }
     }
@@ -337,15 +391,15 @@ fn rule_d4(ctx: &FileCtx, idx: &FileIndex, out: &mut Vec<Finding>) {
         let followed_by_paren =
             matches!(code.get(i + 1), Some(t) if t.kind == TokenKind::Punct('('));
         if preceded_by_dot && followed_by_paren && !idx.in_test_region(code[i].line) {
-            out.push(Finding {
-                rule: RuleId::D4Unwrap,
-                file: ctx.rel_path.clone(),
-                line: code[i].line,
-                message: format!(
+            out.push(Finding::new(
+                RuleId::D4Unwrap,
+                ctx.rel_path.clone(),
+                code[i].line,
+                format!(
                     "`.{name}()` in library code of `{}`: return a Result, or annotate the invariant with `taco-check: allow(unwrap, reason)`",
                     ctx.crate_name
                 ),
-            });
+            ));
         }
     }
 }
@@ -359,12 +413,12 @@ fn rule_d5(ctx: &FileCtx, idx: &FileIndex, out: &mut Vec<Finding>) {
             continue;
         }
         if !has_safety_comment(idx, t.line) {
-            out.push(Finding {
-                rule: RuleId::D5SafetyComment,
-                file: ctx.rel_path.clone(),
-                line: t.line,
-                message: "`unsafe` without an adjacent `// SAFETY:` comment justifying why the invariants hold".to_string(),
-            });
+            out.push(Finding::new(
+                RuleId::D5SafetyComment,
+                ctx.rel_path.clone(),
+                t.line,
+                "`unsafe` without an adjacent `// SAFETY:` comment justifying why the invariants hold".to_string(),
+            ));
         }
     }
 }
@@ -430,14 +484,14 @@ fn rule_d6(ctx: &FileCtx, idx: &FileIndex, out: &mut Vec<Finding>) {
             Some(t) if t.kind == TokenKind::Punct('(') || t.kind == TokenKind::Punct(':')
         );
         if preceded_by_dot && followed && !idx.in_test_region(code[i].line) {
-            out.push(Finding {
-                rule: RuleId::D6FloatReduction,
-                file: ctx.rel_path.clone(),
-                line: code[i].line,
-                message: format!(
+            out.push(Finding::new(
+                RuleId::D6FloatReduction,
+                ctx.rel_path.clone(),
+                code[i].line,
+                format!(
                     "ad-hoc `.{name}` accumulation in core aggregation: use the order-fixed helpers in taco_tensor::ops (sum/sum_f64/dot_f64/min_max)"
                 ),
-            });
+            ));
         }
     }
 }
@@ -558,7 +612,7 @@ mod tests {
 
     #[test]
     fn malformed_pragma_is_reported() {
-        let src = "// taco-check: allow(D9, no such rule)\nfn f() {}\n";
+        let src = "// taco-check: allow(D42, no such rule)\nfn f() {}\n";
         let f = run("crates/core/src/x.rs", src);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("malformed"));

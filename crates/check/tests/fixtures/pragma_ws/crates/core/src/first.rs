@@ -1,0 +1,8 @@
+// Pragma fixture: both constants here are the *first* declaration of
+// their shared value, so the duplicate-salt findings anchor their
+// primary location in sim and point back here as the related anchor.
+
+// taco-check: allow(salt-discipline, fixture: suppression via the related anchor)
+pub const FIRST_SALT: u64 = 0x11;
+
+pub const THIRD_SALT: u64 = 0x22;

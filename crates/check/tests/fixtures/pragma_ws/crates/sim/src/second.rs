@@ -1,0 +1,9 @@
+// Pragma fixture: both constants duplicate a value declared in core,
+// so each carries the primary anchor of a two-location D7 finding.
+// SECOND_SALT's finding is suppressed by the pragma at its *related*
+// anchor (core/first.rs); FOURTH_SALT's by the pragma here at its
+// *primary* anchor.
+pub const SECOND_SALT: u64 = 0x11;
+
+// taco-check: allow(salt-discipline, fixture: suppression via the primary anchor)
+pub const FOURTH_SALT: u64 = 0x22;

@@ -1,0 +1,8 @@
+// Seeded-violation fixture: the same salt value declared twice
+// workspace-wide — this one collides with sim's SELECT_SALT, so the
+// D7 finding there carries this declaration as its related anchor.
+pub const REUSED_SALT: u64 = 0xF1C5;
+
+pub fn mix(seed: u64) -> u64 {
+    seed ^ REUSED_SALT
+}

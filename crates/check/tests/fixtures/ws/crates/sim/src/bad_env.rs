@@ -1,0 +1,8 @@
+// Seeded-violation fixture: D8 env registry. Both reads bypass the
+// typed accessor module, and the second name is a typo the registry
+// never declared.
+pub fn knobs() -> (Option<String>, Option<String>) {
+    let raw = std::env::var("TACO_FIXTURE_KNOB").ok();
+    let typo = std::env::var("TACO_FIXTURE_KNOBS").ok();
+    (raw, typo)
+}

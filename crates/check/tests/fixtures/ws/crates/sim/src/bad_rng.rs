@@ -1,0 +1,10 @@
+// Seeded-violation fixture: D7 salt discipline. The named salt below
+// collides with core's REUSED_SALT (a two-location finding anchored
+// there), and the raw hex literal is mixed straight into a seed.
+pub const SELECT_SALT: u64 = 0xF1C5;
+
+pub fn rngs(seed: u64) -> (u64, u64) {
+    let select = seed ^ SELECT_SALT;
+    let raw = seed ^ 0x00FF;
+    (select, raw)
+}

@@ -1,0 +1,8 @@
+// Seeded-violation fixture: D9 span contract. The first span name is
+// off-contract, the second spells a contract value as a literal, the
+// third is the compliant form (and keeps phase::ROUND non-dangling).
+pub fn run_round(r: usize) {
+    let _rogue = trace::span!("sim.rogue", round = r);
+    let _literal = trace::Span::quiet("sim.round");
+    let _ok = trace::span!(crate::phase::ROUND, round = r);
+}

@@ -1,0 +1,4 @@
+// Fixture span-name contract (the D9 anchor file).
+pub const ROUND: &str = "sim.round";
+// Dangling: nothing in the fixture tree references phase::ORPHAN.
+pub const ORPHAN: &str = "sim.orphan";

@@ -1,0 +1,17 @@
+// Fixture env registry (the D8 anchor file): declares the knob the
+// fixture tree reads, plus one the fixture README never mentions.
+pub struct EnvVar {
+    pub name: &'static str,
+    pub doc: &'static str,
+}
+
+pub const REGISTRY: [EnvVar; 2] = [
+    EnvVar {
+        name: "TACO_FIXTURE_KNOB",
+        doc: "documented in the fixture README",
+    },
+    EnvVar {
+        name: "TACO_UNDOCUMENTED",
+        doc: "registered but absent from the docs: D8 flags this entry",
+    },
+];

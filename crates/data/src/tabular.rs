@@ -9,6 +9,11 @@
 use crate::dataset::{Dataset, TrainTest};
 use taco_tensor::Prng;
 
+/// Stream tag splitting the dataset RNG for class-mean jitter, so the
+/// means stay fixed for a given seed regardless of how many samples
+/// are later drawn from the parent stream.
+const MEAN_STREAM_TAG: u64 = 0xAD;
+
 /// Parameters of the synthetic tabular dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TabularSpec {
@@ -72,7 +77,7 @@ pub fn generate(spec: &TabularSpec, rng: &mut Prng) -> TrainTest {
     // ±separation sign pattern (so classes are guaranteed separated)
     // plus a small random jitter (so runs with different seeds are not
     // identical tasks).
-    let mut mean_rng = rng.split(0xAD);
+    let mut mean_rng = rng.split(MEAN_STREAM_TAG);
     let means: Vec<Vec<f32>> = (0..spec.classes)
         .map(|class| {
             (0..spec.informative)

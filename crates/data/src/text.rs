@@ -13,6 +13,20 @@ use crate::dataset::Dataset;
 use crate::federated::FederatedDataset;
 use taco_tensor::Prng;
 
+/// Stream tag splitting the corpus RNG for Markov-chain construction,
+/// distinct from the per-client and test-set tags below so adding
+/// clients never perturbs the shared global chain.
+const CHAIN_STREAM_TAG: u64 = 0x7E;
+
+/// Base stream tag for per-client window emission; client `c` draws
+/// from `CLIENT_STREAM_TAG + c`, so tags `0x1000..0x1000+clients` are
+/// reserved and must stay clear of every other tag in this crate.
+const CLIENT_STREAM_TAG: u64 = 0x1000;
+
+/// Stream tag for global test-set emission, above the per-client range
+/// so any federation smaller than 4096 clients cannot collide with it.
+const TEST_STREAM_TAG: u64 = 0x2000;
+
 /// Parameters of the synthetic text corpus.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TextSpec {
@@ -107,13 +121,13 @@ fn emit(
 pub fn generate(spec: &TextSpec, rng: &mut Prng) -> FederatedDataset {
     assert!(spec.vocab > 1, "vocab must exceed 1");
     assert!(spec.clients > 0, "need at least one client");
-    let mut chain_rng = rng.split(0x7E);
+    let mut chain_rng = rng.split(CHAIN_STREAM_TAG);
     let global = random_chain(spec.vocab, &mut chain_rng);
     let mut shards = Vec::with_capacity(spec.clients);
     for c in 0..spec.clients {
         let local = random_chain(spec.vocab, &mut chain_rng);
         let mixed = mix(&global, &local, spec.style_weight);
-        let mut client_rng = rng.split(0x1000 + c as u64);
+        let mut client_rng = rng.split(CLIENT_STREAM_TAG + c as u64);
         shards.push(emit(
             &mixed,
             spec.vocab,
@@ -122,7 +136,7 @@ pub fn generate(spec: &TextSpec, rng: &mut Prng) -> FederatedDataset {
             &mut client_rng,
         ));
     }
-    let mut test_rng = rng.split(0x2000);
+    let mut test_rng = rng.split(TEST_STREAM_TAG);
     let test = emit(
         &global,
         spec.vocab,

@@ -11,6 +11,19 @@
 use crate::dataset::{Dataset, TrainTest};
 use taco_tensor::Prng;
 
+/// Seed tag for the MNIST-equivalent preset's prototype stream.
+const MNIST_SEED_TAG: u64 = 0x11;
+/// Seed tag for the FMNIST-equivalent preset's prototype stream.
+const FMNIST_SEED_TAG: u64 = 0x22;
+/// Seed tag for the FEMNIST-equivalent preset's prototype stream.
+const FEMNIST_SEED_TAG: u64 = 0x33;
+/// Seed tag for the SVHN-equivalent preset's prototype stream.
+const SVHN_SEED_TAG: u64 = 0x44;
+/// Seed tag for the CIFAR-10-equivalent preset's prototype stream.
+const CIFAR10_SEED_TAG: u64 = 0x55;
+/// Seed tag for the CIFAR-100-equivalent preset's prototype stream.
+const CIFAR100_SEED_TAG: u64 = 0x66;
+
 /// Parameters of a synthetic vision dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VisionSpec {
@@ -50,7 +63,7 @@ impl VisionSpec {
             separation: 2.0,
             noise: 0.6,
             max_shift: 2,
-            seed_tag: 0x11,
+            seed_tag: MNIST_SEED_TAG,
         }
     }
 
@@ -66,7 +79,7 @@ impl VisionSpec {
             separation: 1.3,
             noise: 0.8,
             max_shift: 2,
-            seed_tag: 0x22,
+            seed_tag: FMNIST_SEED_TAG,
         }
     }
 
@@ -82,7 +95,7 @@ impl VisionSpec {
             separation: 1.6,
             noise: 0.7,
             max_shift: 2,
-            seed_tag: 0x33,
+            seed_tag: FEMNIST_SEED_TAG,
         }
     }
 
@@ -98,7 +111,7 @@ impl VisionSpec {
             separation: 1.1,
             noise: 0.9,
             max_shift: 3,
-            seed_tag: 0x44,
+            seed_tag: SVHN_SEED_TAG,
         }
     }
 
@@ -114,7 +127,7 @@ impl VisionSpec {
             separation: 1.0,
             noise: 0.9,
             max_shift: 3,
-            seed_tag: 0x55,
+            seed_tag: CIFAR10_SEED_TAG,
         }
     }
 
@@ -130,7 +143,7 @@ impl VisionSpec {
             separation: 1.2,
             noise: 0.8,
             max_shift: 2,
-            seed_tag: 0x66,
+            seed_tag: CIFAR100_SEED_TAG,
         }
     }
 

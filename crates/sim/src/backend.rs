@@ -417,9 +417,8 @@ impl BackendChoice {
     /// backend, default [`DEFAULT_SHARDS`]). An unrecognized backend
     /// name warns once on stderr and falls back to sequential.
     pub fn from_env() -> Self {
-        let name = match std::env::var("TACO_BACKEND") {
-            Ok(v) => v,
-            Err(_) => return BackendChoice::Sequential,
+        let Some(name) = trace::env::backend_name() else {
+            return BackendChoice::Sequential;
         };
         match name.trim().to_ascii_lowercase().as_str() {
             "" | "sequential" => BackendChoice::Sequential,
@@ -457,11 +456,7 @@ impl BackendChoice {
 }
 
 fn shards_from_env() -> usize {
-    std::env::var("TACO_SHARDS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(DEFAULT_SHARDS)
+    trace::env::shards().unwrap_or(DEFAULT_SHARDS)
 }
 
 #[cfg(test)]

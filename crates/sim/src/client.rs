@@ -44,7 +44,7 @@ pub(crate) fn execute_jobs(
 ) -> Vec<ClientUpdate> {
     let run_one = move |job: &ClientJob| -> ClientUpdate {
         let span = trace::span!(
-            "client_step",
+            crate::phase::CLIENT_STEP,
             round = round,
             client = job.client,
             steps = job.steps

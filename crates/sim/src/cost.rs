@@ -120,7 +120,7 @@ pub fn calibrate_grad_seconds(
     // and hands back the measured duration. Calibration output feeds
     // the cost model as an *injected* timing; the simulation itself
     // never touches the wall clock.
-    let span = taco_trace::Span::quiet("sim.calibrate_grad");
+    let span = taco_trace::Span::quiet(crate::phase::CALIBRATE);
     for _ in 0..trials {
         let _ = model.loss_and_grad(&batch);
     }

@@ -39,6 +39,18 @@ pub const ALL: [&str; 8] = [
     CLIENT_COMPUTE,
 ];
 
+/// One client's whole local step (the event-emitting span wrapping
+/// [`CLIENT_COMPUTE`]; per-client, inside [`LOCAL`]).
+pub const CLIENT_STEP: &str = "client_step";
+/// Gradient-norm calibration probe in the cost model (setup-time, not
+/// part of the round loop, hence not in [`ALL`]).
+pub const CALIBRATE: &str = "sim.calibrate_grad";
+
+/// Auxiliary span names reported outside the round-loop phase set:
+/// still contract — renaming one changes the trace schema — but not
+/// part of the per-round `<name>.seconds` trajectory in [`ALL`].
+pub const AUX: [&str; 2] = [CLIENT_STEP, CALIBRATE];
+
 /// The `<name>.seconds` histogram a phase's span feeds.
 pub fn seconds_histogram(phase: &str) -> String {
     format!("{phase}.seconds")
@@ -51,10 +63,11 @@ mod tests {
     #[test]
     fn phase_names_are_unique_and_namespaced() {
         let mut names = ALL.to_vec();
+        names.extend(AUX);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), ALL.len());
-        for name in ALL {
+        assert_eq!(names.len(), ALL.len() + AUX.len());
+        for name in ALL.iter().chain(AUX.iter()) {
             assert!(!name.ends_with(".seconds"), "{name} already suffixed");
         }
         assert_eq!(seconds_histogram(ROUND), "sim.round.seconds");

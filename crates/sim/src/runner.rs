@@ -22,6 +22,11 @@ use taco_trace as trace;
 /// or coalition streams.
 const DRIFT_SALT: u64 = 0xD81F;
 
+/// Salt folded into the run seed for the per-round participation
+/// sampling draw, keeping the subset-selection stream independent of
+/// client training and every other salted stream in the workspace.
+const PARTICIPATION_SALT: u64 = 0x9A97;
+
 /// Which clients take part in each round.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Participation {
@@ -453,7 +458,11 @@ impl Simulation {
                 Participation::Sample { fraction } => {
                     let m = ((eligible.len() as f64 * fraction).ceil() as usize)
                         .clamp(1, eligible.len());
-                    let mut prng = client::client_rng(self.config.seed ^ 0x9A97, round, usize::MAX);
+                    let mut prng = client::client_rng(
+                        self.config.seed ^ PARTICIPATION_SALT,
+                        round,
+                        usize::MAX,
+                    );
                     let chosen = prng.sample_indices(eligible.len(), m);
                     let mut v = vec![false; n];
                     for c in chosen {

@@ -74,6 +74,7 @@
 //! [`matvec`] and [`outer`] are small enough that the naive loops are
 //! already memory-bound; they are unchanged.
 
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 use std::sync::OnceLock;
 
 use crate::ktrace;
@@ -117,12 +118,16 @@ fn par_chunk_rows(m: usize, macs: usize) -> usize {
 }
 
 fn cpu_has_avx() -> bool {
-    #[cfg(target_arch = "x86_64")]
+    // Miri interprets portable Rust only: it can run neither the
+    // feature-detection intrinsics nor the AVX kernels, so the
+    // dispatch reports no AVX and the scalar path (bit-identical by
+    // the differential tests) is what gets checked for UB.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         static AVX: OnceLock<bool> = OnceLock::new();
         *AVX.get_or_init(|| std::is_x86_feature_detected!("avx"))
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(any(not(target_arch = "x86_64"), miri))]
     {
         false
     }

@@ -333,13 +333,12 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// Configured thread count: `TACO_THREADS` if set to a positive
-/// integer, else [`std::thread::available_parallelism`], else 1.
+/// integer, else [`std::thread::available_parallelism`], else 1. The
+/// variable is read through the [`taco_trace::env`] registry (which
+/// also owns the invalid-value warning).
 pub fn threads_from_env() -> usize {
-    if let Ok(v) = std::env::var("TACO_THREADS") {
-        match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n.min(MAX_THREADS),
-            _ => eprintln!("warning: ignoring invalid TACO_THREADS={v:?}"),
-        }
+    if let Some(n) = taco_trace::env::threads() {
+        return n.min(MAX_THREADS);
     }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

@@ -1,0 +1,248 @@
+//! `taco_env` — the single choke point for the `TACO_*` environment
+//! surface.
+//!
+//! Every `TACO_*` variable the workspace reads is declared exactly once
+//! in [`REGISTRY`] and read exactly here, through a typed accessor.
+//! This is a **statically enforced contract**: taco-check's D8 rule
+//! (`env-registry`) flags any raw `std::env::var("TACO_…")` outside
+//! this file, any `TACO_*` name that is not registered (typos), and any
+//! registered name missing from the README/EXPERIMENTS documentation —
+//! see `crates/check/src/workspace_rules.rs`.
+//!
+//! Accessors deliberately reproduce the parsing semantics of the call
+//! sites they replaced (trimming, empty-string handling, invalid-value
+//! fallbacks), so routing a read through this module can never change a
+//! trajectory or an artifact byte.
+
+use std::path::PathBuf;
+
+/// One declared `TACO_*` environment variable.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvVar {
+    /// The exact variable name, `TACO_`-prefixed.
+    pub name: &'static str,
+    /// What it controls, in one line (mirrored in the README registry
+    /// table).
+    pub doc: &'static str,
+}
+
+/// Every `TACO_*` variable the workspace recognizes. taco-check D8
+/// cross-checks this registry against all use sites and against the
+/// README/EXPERIMENTS docs in both directions.
+pub const REGISTRY: [EnvVar; 14] = [
+    EnvVar {
+        name: "TACO_TRACE",
+        doc: "JSONL trace sink file path; unset/empty disables tracing",
+    },
+    EnvVar {
+        name: "TACO_THREADS",
+        doc: "worker-pool size (positive integer); default: available parallelism",
+    },
+    EnvVar {
+        name: "TACO_BACKEND",
+        doc: "aggregation backend: `sequential` (default) or `sharded`",
+    },
+    EnvVar {
+        name: "TACO_SHARDS",
+        doc: "shard count for the sharded backend (positive integer; default 8)",
+    },
+    EnvVar {
+        name: "TACO_SCALE",
+        doc: "experiment scale: `quick` (default) or `paper`",
+    },
+    EnvVar {
+        name: "TACO_SEEDS",
+        doc: "number of seeds averaged by fig2/table5 (default 3 / 1)",
+    },
+    EnvVar {
+        name: "TACO_CLIENTS",
+        doc: "federation size for table7 (default 100)",
+    },
+    EnvVar {
+        name: "TACO_RESULTS_DIR",
+        doc: "artifact directory override for results/ (tests use a scratch dir)",
+    },
+    EnvVar {
+        name: "TACO_BENCH_OUT",
+        doc: "perf_suite report path override (default BENCH_perf_suite.json)",
+    },
+    EnvVar {
+        name: "TACO_PERF_REPEATS",
+        doc: "timed repetitions per perf_suite metric (default 5)",
+    },
+    EnvVar {
+        name: "TACO_BENCH_SMOKE",
+        doc: "truthy: single-pass tensor_ops bench for CI smoke runs",
+    },
+    EnvVar {
+        name: "TACO_SCENARIO_SMOKE",
+        doc: "`1`/`true`: scenario_sweep runs the reduced smoke grid",
+    },
+    EnvVar {
+        name: "TACO_REGEN_GOLDEN",
+        doc: "truthy: rewrite golden trajectory fixtures instead of comparing",
+    },
+    EnvVar {
+        name: "TACO_GOLDEN_TOL",
+        doc: "absolute tolerance for golden comparisons (default 0.0, exact)",
+    },
+];
+
+/// Is `name` a declared `TACO_*` variable?
+pub fn is_registered(name: &str) -> bool {
+    REGISTRY.iter().any(|v| v.name == name)
+}
+
+/// The one raw read. Debug builds assert the name went through the
+/// registry, so a typo in an accessor fails the first test that
+/// exercises it rather than silently reading an unset variable.
+fn raw(name: &str) -> Option<String> {
+    debug_assert!(is_registered(name), "unregistered env var {name}");
+    std::env::var(name).ok()
+}
+
+fn raw_os(name: &str) -> Option<std::ffi::OsString> {
+    debug_assert!(is_registered(name), "unregistered env var {name}");
+    std::env::var_os(name)
+}
+
+/// `TACO_TRACE`: the JSONL sink path; `None` when unset or empty.
+pub fn trace_path() -> Option<String> {
+    raw("TACO_TRACE").filter(|p| !p.is_empty())
+}
+
+/// `TACO_THREADS`: the worker-pool size. `None` when unset or invalid
+/// (an invalid value warns once per read, matching the historical
+/// `tensor::pool` behaviour).
+pub fn threads() -> Option<usize> {
+    let v = raw("TACO_THREADS")?;
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("warning: ignoring invalid TACO_THREADS={v:?}");
+            None
+        }
+    }
+}
+
+/// `TACO_BACKEND`: the raw backend name; interpretation (and the
+/// unknown-name warning) stays with `sim::backend`.
+pub fn backend_name() -> Option<String> {
+    raw("TACO_BACKEND")
+}
+
+/// `TACO_SHARDS`: shard count for the sharded backend; `None` when
+/// unset, unparseable, or zero.
+pub fn shards() -> Option<usize> {
+    raw("TACO_SHARDS")
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// `TACO_SCALE`: the raw scale name (`quick`/`paper`).
+pub fn scale_name() -> Option<String> {
+    raw("TACO_SCALE")
+}
+
+/// `TACO_SEEDS`: seed-count override for the multi-seed experiment
+/// binaries; `None` when unset or unparseable.
+pub fn seeds() -> Option<u64> {
+    raw("TACO_SEEDS").and_then(|s| s.parse().ok())
+}
+
+/// `TACO_CLIENTS`: federation-size override; `None` when unset or
+/// unparseable.
+pub fn clients() -> Option<usize> {
+    raw("TACO_CLIENTS").and_then(|s| s.parse().ok())
+}
+
+/// `TACO_RESULTS_DIR`: artifact directory override.
+pub fn results_dir() -> Option<PathBuf> {
+    raw_os("TACO_RESULTS_DIR").map(Into::into)
+}
+
+/// `TACO_BENCH_OUT`: perf-suite report path override.
+pub fn bench_out() -> Option<PathBuf> {
+    raw_os("TACO_BENCH_OUT").map(Into::into)
+}
+
+/// `TACO_PERF_REPEATS`: timed repetitions per perf-suite metric;
+/// `None` when unset, unparseable, or zero.
+pub fn perf_repeats() -> Option<usize> {
+    raw("TACO_PERF_REPEATS")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// `TACO_BENCH_SMOKE`: truthy when set to anything but `""`/`"0"`.
+pub fn bench_smoke() -> bool {
+    raw("TACO_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// `TACO_SCENARIO_SMOKE`: exactly `1` or `true` shrinks the sweep grid
+/// (the historical scenario_sweep parse).
+pub fn scenario_smoke() -> bool {
+    matches!(raw("TACO_SCENARIO_SMOKE").as_deref(), Some("1" | "true"))
+}
+
+/// `TACO_REGEN_GOLDEN`: truthy when set to anything but `""`/`"0"`.
+pub fn regen_golden() -> bool {
+    raw("TACO_REGEN_GOLDEN").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// `TACO_GOLDEN_TOL`: golden-comparison tolerance; `None` when unset
+/// or unparseable.
+pub fn golden_tol() -> Option<f64> {
+    raw("TACO_GOLDEN_TOL").and_then(|s| s.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_prefixed() {
+        let mut names: Vec<&str> = REGISTRY.iter().map(|v| v.name).collect();
+        for name in &names {
+            assert!(name.starts_with("TACO_"), "{name}");
+            assert!(
+                name.len() > "TACO_".len(),
+                "{name}: bare prefix is not a variable"
+            );
+            assert!(
+                name.chars().all(|c| c.is_ascii_uppercase() || c == '_'),
+                "{name}: registry names are SCREAMING_SNAKE"
+            );
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len(), "duplicate registry entry");
+    }
+
+    #[test]
+    fn every_entry_is_documented_in_registry() {
+        for v in REGISTRY {
+            assert!(!v.doc.is_empty(), "{}: missing doc line", v.name);
+        }
+    }
+
+    #[test]
+    fn accessors_tolerate_unset_environment() {
+        // The test environment leaves almost everything unset; every
+        // accessor must return its unset-shape instead of panicking.
+        let _ = trace_path();
+        let _ = threads();
+        let _ = backend_name();
+        let _ = shards();
+        let _ = scale_name();
+        let _ = seeds();
+        let _ = clients();
+        let _ = results_dir();
+        let _ = bench_out();
+        let _ = perf_repeats();
+        let _ = bench_smoke();
+        let _ = scenario_smoke();
+        let _ = regen_golden();
+        let _ = golden_tol();
+    }
+}

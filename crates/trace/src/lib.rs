@@ -16,7 +16,10 @@
 //! - **perf helpers** ([`perf`]) — per-span-name timing aggregation
 //!   with `p50/p90/p99` quantiles, a zero-dependency peak-RSS probe
 //!   (surfaced on every [`Snapshot`]), and the median-of-repeats timer
-//!   behind the `BENCH_*.json` perf trajectory.
+//!   behind the `BENCH_*.json` perf trajectory;
+//! - the **`taco_env` registry** ([`env`]) — the declared `TACO_*`
+//!   environment surface with typed accessors; the one place in the
+//!   workspace allowed to read `TACO_*` variables (taco-check rule D8).
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 
 #![deny(missing_docs)]
 
+pub mod env;
 pub mod event;
 pub mod json;
 pub mod metrics;
@@ -163,8 +167,8 @@ pub fn init_from_env() -> bool {
     if ENV_INIT.swap(true, Ordering::SeqCst) {
         return false;
     }
-    match std::env::var("TACO_TRACE") {
-        Ok(path) if !path.is_empty() => match JsonlSink::create(&path) {
+    match env::trace_path() {
+        Some(path) => match JsonlSink::create(&path) {
             Ok(sink) => {
                 set_sink(Arc::new(sink));
                 emit(&Event::new("run_start").with("trace_path", path.as_str()));

@@ -79,12 +79,14 @@ impl Drop for Span {
     }
 }
 
-/// Starts an event-emitting [`Span`]: `span!("sim.phase.aggregate")` or
-/// `span!("client_step", client = 3, steps = k)`. Field values may be
-/// any type convertible into [`crate::value::Value`].
+/// Starts an event-emitting [`Span`]: `span!(phase::AGGREGATE)` or
+/// `span!(phase::CLIENT_STEP, client = 3, steps = k)`. The name is any
+/// `&str` expression — by convention a contract constant (the `D9`
+/// span-contract lint flags bare literals in `sim`/`bench`). Field
+/// values may be any type convertible into [`crate::value::Value`].
 #[macro_export]
 macro_rules! span {
-    ($name:literal $(, $key:ident = $val:expr)* $(,)?) => {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
         $crate::span::Span::new(
             $name,
             ::std::vec![$((
@@ -99,7 +101,7 @@ macro_rules! span {
 /// histogram but never emits an event.
 #[macro_export]
 macro_rules! quiet_span {
-    ($name:literal) => {
+    ($name:expr) => {
         $crate::span::Span::quiet($name)
     };
 }

@@ -139,7 +139,7 @@ pub fn check_against_golden(name: &str, h: &History) {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    if std::env::var("TACO_REGEN_GOLDEN").is_ok_and(|v| v != "0" && !v.is_empty()) {
+    if taco_trace::env::regen_golden() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, val.to_json() + "\n").unwrap();
         println!("regenerated {}", path.display());
@@ -152,9 +152,6 @@ pub fn check_against_golden(name: &str, h: &History) {
         )
     });
     let golden = json::parse(text.trim()).expect("golden fixture is valid JSON");
-    let tol: f64 = std::env::var("TACO_GOLDEN_TOL")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.0);
+    let tol: f64 = taco_trace::env::golden_tol().unwrap_or(0.0);
     assert_values_close(&golden, &val, tol, name);
 }
