@@ -151,6 +151,7 @@ fn shard_aggregate_ms(choice: BackendChoice, reps: usize) -> f64 {
                     grad_evals: 0,
                     steps: 1,
                     compute_seconds: 0.0,
+                    encoded: None,
                 })
                 .collect()
         })
@@ -201,6 +202,66 @@ fn backend_round_ms(choice: BackendChoice, reps: usize) -> f64 {
             ));
         })
     }) * 1e3
+}
+
+/// Codec throughput + decode-free aggregation metrics for the Q8 wire
+/// format: encode bandwidth over a 1 Mi-dim delta (input GB/s), the
+/// median wall-ms of folding 32 encoded uploads × 256 Ki dims straight
+/// into an 8-shard f64 table on a 4-worker pool (no decode
+/// materialization), and the deterministic wire size of one such
+/// payload (machine-independent, gated everywhere).
+fn codec_metrics(reps: usize) -> Vec<PerfMetric> {
+    use taco_core::compress::{codec_stream, Compressor, EncodedDelta, Uniform8Bit};
+    use taco_tensor::shard::{ShardSpec, StripedTable};
+
+    const ENC_DIM: usize = 1 << 20;
+    let mut rng = Prng::seed_from_u64(SUITE_SEED ^ FLAT_OPS_SALT);
+    let big: Vec<f32> = (0..ENC_DIM).map(|_| rng.normal_f32() * 0.01).collect();
+    let enc_secs = trace::perf::time_median(reps, || {
+        std::hint::black_box(Uniform8Bit.encode(&big, &mut codec_stream(SUITE_SEED, 0, 0)));
+    });
+    let encode_gbps = ENC_DIM as f64 * 4.0 / enc_secs / 1e9;
+    println!("codec.q8.encode    {encode_gbps:>9.3} GB/s (median of {reps})");
+
+    const AGG_DIM: usize = 262_144;
+    const AGG_CLIENTS: usize = 32;
+    let payloads: Vec<EncodedDelta> = (0..AGG_CLIENTS)
+        .map(|client| {
+            let delta: Vec<f32> = (0..AGG_DIM).map(|_| rng.normal_f32() * 0.01).collect();
+            Uniform8Bit.encode(&delta, &mut codec_stream(SUITE_SEED, 0, client))
+        })
+        .collect();
+    let wire_bytes = payloads[0].wire_bytes() as f64;
+    let pool = Pool::new(4);
+    let agg_ms = pool::with_pool(&pool, || {
+        let spec = ShardSpec::new(AGG_DIM, 8);
+        let mut table = StripedTable::new(spec);
+        trace::perf::time_median(reps, || {
+            table.clear();
+            pool::for_each_index(spec.num_shards(), |s| {
+                for enc in &payloads {
+                    table.accumulate_shard_with(s, |range, acc| {
+                        enc.accumulate_range_into(range, acc, 1.0);
+                    });
+                }
+            });
+            std::hint::black_box(&table);
+        })
+    }) * 1e3;
+    println!("codec.q8.aggregate {agg_ms:>9.2} ms (median of {reps}, t4, decode-free)");
+
+    vec![
+        metric("codec.q8.encode_gbps", encode_gbps, "GB/s", true, true, 0.5),
+        metric("codec.q8.aggregate_ms", agg_ms, "ms", false, true, 5.0),
+        metric(
+            "codec.q8.wire_bytes",
+            wire_bytes,
+            "bytes",
+            false,
+            false,
+            0.0,
+        ),
+    ]
 }
 
 fn metric(
@@ -304,6 +365,8 @@ fn main() {
             25.0,
         ));
     }
+
+    metrics.extend(codec_metrics(reps));
 
     if let Some(rss) = trace::peak_rss_bytes() {
         let mib = rss as f64 / (1 << 20) as f64;

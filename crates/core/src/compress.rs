@@ -1,33 +1,387 @@
-//! Lossy upload compression (gradient sparsification/quantization).
+//! Lossy upload codecs with a real wire format.
 //!
 //! The paper's related work cites compressed federated learning
-//! (Haddadpour et al., cited as reference 42) among the momentum-correction family.
-//! This module provides the two standard compressors so the
-//! communication model in `taco-sim` can study accuracy-vs-bytes
-//! trade-offs on top of any algorithm:
+//! (Haddadpour et al., cited as reference 42) among the
+//! momentum-correction family. Earlier revisions of this module only
+//! offered a `roundtrip` API — compress-and-immediately-decompress on
+//! the client — so the server never touched an encoded payload and
+//! byte accounting was inferred rather than measured. This module now
+//! splits the codec into the two halves a deployment actually has:
 //!
-//! - [`TopK`] — keep the `k` largest-magnitude coordinates, zero the
-//!   rest (a *contraction* operator: the error norm is at most
-//!   `√(1 − k/d)` of the input norm; property-tested).
-//! - [`Uniform8Bit`] — per-tensor affine quantization to 256 levels.
+//! - [`Compressor::encode`] produces an [`EncodedDelta`] — the wire
+//!   message. Its [`EncodedDelta::wire_bytes`] is computed from the
+//!   actual encoding (headers, indices, levels, non-finite escapes),
+//!   not from a formula over the dense length.
+//! - The server side either [`EncodedDelta::decode`]s, or folds the
+//!   payload **decode-free** into `f64` shard accumulators via
+//!   [`EncodedDelta::accumulate_range_into`], which reproduces the
+//!   decode-then-add arithmetic bit for bit (see the determinism notes
+//!   on that method) using the AVX-dispatched scale-accumulate kernels
+//!   in [`taco_tensor::linalg`].
 //!
-//! Both implement [`Compressor`], which reports payload bytes for the
-//! communication model and reconstructs the (lossy) vector the server
-//! actually receives.
+//! Four codecs ship:
+//!
+//! - [`NoCompression`] — dense `f32` passthrough (baseline).
+//! - [`TopK`] — keep the `k` largest-magnitude coordinates as a sparse
+//!   (index, value) message (a *contraction* operator: the error norm
+//!   is at most `√(1 − k/d)` of the input norm; property-tested).
+//! - [`Uniform8Bit`] — per-tensor affine quantization to 256 levels
+//!   with round-to-nearest (at 8 bits the rounding bias is below the
+//!   quantization noise floor). Non-finite coordinates are carried as
+//!   raw-bit escape entries so validation still sees them.
+//! - [`Stochastic4Bit`] — 16-level affine quantization with *seeded
+//!   stochastic rounding*: each coordinate rounds up with probability
+//!   equal to its fractional level, so the quantizer is unbiased even
+//!   at 4 bits. Rounding bits come from a salted per-`(round, client)`
+//!   stream ([`codec_stream`]), making encodings bit-reproducible at
+//!   any thread count.
+//!
+//! Wire layouts (documented in DESIGN.md § wire formats):
+//!
+//! | variant | layout | wire bytes |
+//! |---|---|---|
+//! | `Dense` | `d × f32` | `4d` |
+//! | `Sparse` | `dim: u32, nnz: u32`, then `nnz × (idx: u32, val: f32)` | `8 + 8·nnz` |
+//! | `Q8` | `min: f32, scale: f32, n_exc: u32`, `d × u8`, `n_exc × (idx: u32, raw: f32)` | `12 + d + 8·n_exc` |
+//! | `Q4` | `min: f32, scale: f32, n_exc: u32, dim: u32`, `⌈d/2⌉ × u8`, `n_exc × (idx: u32, raw: f32)` | `16 + ⌈d/2⌉ + 8·n_exc` |
 
-use taco_tensor::ops;
+use std::ops::Range;
+use std::sync::Arc;
+use taco_tensor::{linalg, ops, Prng};
 
-/// A lossy vector codec with a known wire size.
+/// Salt mixed into the run seed for the stochastic-rounding stream, so
+/// quantization draws are independent of the training, participation,
+/// fault, and every other salted stream derived from the same
+/// `(round, client)` cell (DESIGN.md §7 salt table).
+const CODEC_SALT: u64 = 0xC0DEC;
+
+/// Deterministic per-`(round, client)` RNG for codec rounding draws —
+/// the same derivation as the fault and client training streams,
+/// salted with [`CODEC_SALT`]. Pure in its arguments, so parallel and
+/// sequential encodes are bit-identical.
+pub fn codec_stream(seed: u64, round: usize, client: usize) -> Prng {
+    let mixed = (seed ^ CODEC_SALT)
+        ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (client as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+    Prng::seed_from_u64(mixed)
+}
+
+/// The wire-format payload of one encoded client delta.
+///
+/// Fields are public: the fault layer damages encodings in place
+/// (an index, a level, or the scale header — see
+/// `taco_sim::fault::apply_corruption_encoded`) and the validation
+/// layer inspects them via [`EncodedDelta::check_integrity`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedDelta {
+    /// Uncompressed dense `f32` payload.
+    Dense(Vec<f32>),
+    /// Sparse (index, value) pairs with ascending indices.
+    Sparse {
+        /// Dense dimensionality the indices address.
+        dim: usize,
+        /// Kept coordinate indices, strictly ascending.
+        indices: Vec<u32>,
+        /// Kept coordinate values, parallel to `indices`.
+        values: Vec<f32>,
+    },
+    /// 256-level affine quantization: `x ≈ min + level · scale`.
+    Q8 {
+        /// Affine offset (the finite minimum of the input).
+        min: f32,
+        /// Affine step (`(max − min) / 255`; `0` for constant input).
+        scale: f32,
+        /// One level byte per coordinate (`0` at escape positions).
+        levels: Vec<u8>,
+        /// Non-finite escapes: `(index, raw f32)` pairs, ascending.
+        exceptions: Vec<(u32, f32)>,
+    },
+    /// 16-level affine quantization, two levels packed per byte (low
+    /// nibble = even index).
+    Q4 {
+        /// Dense dimensionality (needed: `packed` rounds up to bytes).
+        dim: usize,
+        /// Affine offset (the finite minimum of the input).
+        min: f32,
+        /// Affine step (`(max − min) / 15`; `0` for constant input).
+        scale: f32,
+        /// Nibble-packed levels, `⌈dim/2⌉` bytes.
+        packed: Vec<u8>,
+        /// Non-finite escapes: `(index, raw f32)` pairs, ascending.
+        exceptions: Vec<(u32, f32)>,
+    },
+}
+
+impl EncodedDelta {
+    /// Dense dimensionality of the decoded vector.
+    pub fn dim(&self) -> usize {
+        match self {
+            EncodedDelta::Dense(v) => v.len(),
+            EncodedDelta::Sparse { dim, .. } => *dim,
+            EncodedDelta::Q8 { levels, .. } => levels.len(),
+            EncodedDelta::Q4 { dim, .. } => *dim,
+        }
+    }
+
+    /// Bytes this message occupies on the wire, computed from the
+    /// actual encoding (see the module-level layout table). Non-finite
+    /// escape entries bill their full `(u32, f32)` cost — the byte
+    /// accounting matches what was actually encodable, rather than
+    /// pretending a NaN fit in a level byte.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            EncodedDelta::Dense(v) => v.len() * 4,
+            EncodedDelta::Sparse { indices, .. } => 8 + indices.len() * 8,
+            EncodedDelta::Q8 {
+                levels, exceptions, ..
+            } => 12 + levels.len() + exceptions.len() * 8,
+            EncodedDelta::Q4 {
+                packed, exceptions, ..
+            } => 16 + packed.len() + exceptions.len() * 8,
+        }
+    }
+
+    /// Structural integrity of the message: parallel array lengths,
+    /// strictly ascending in-bounds indices, and a level buffer sized
+    /// to the dimension. A corrupted index or a truncated buffer fails
+    /// here *before* the decoded floats are ever looked at — the
+    /// server quarantines such uploads as malformed.
+    pub fn check_integrity(&self) -> bool {
+        fn ascending_in_bounds(pairs: &[(u32, f32)], dim: usize) -> bool {
+            pairs.windows(2).all(|w| w[0].0 < w[1].0)
+                && pairs.iter().all(|&(i, _)| (i as usize) < dim)
+        }
+        match self {
+            EncodedDelta::Dense(_) => true,
+            EncodedDelta::Sparse {
+                dim,
+                indices,
+                values,
+            } => {
+                indices.len() == values.len()
+                    && indices.windows(2).all(|w| w[0] < w[1])
+                    && indices.iter().all(|&i| (i as usize) < *dim)
+            }
+            EncodedDelta::Q8 {
+                levels, exceptions, ..
+            } => ascending_in_bounds(exceptions, levels.len()),
+            EncodedDelta::Q4 {
+                dim,
+                packed,
+                exceptions,
+                ..
+            } => packed.len() == dim.div_ceil(2) && ascending_in_bounds(exceptions, *dim),
+        }
+    }
+
+    /// Reconstructs the dense lossy vector the receiver decodes.
+    /// Defensive on malformed messages (out-of-range indices are
+    /// skipped): [`EncodedDelta::check_integrity`] is the rejection
+    /// path, decode must not panic on hostile input.
+    pub fn decode(&self) -> Vec<f32> {
+        match self {
+            EncodedDelta::Dense(v) => v.clone(),
+            EncodedDelta::Sparse {
+                dim,
+                indices,
+                values,
+            } => {
+                let mut out = vec![0.0f32; *dim];
+                for (&i, &v) in indices.iter().zip(values) {
+                    if let Some(slot) = out.get_mut(i as usize) {
+                        *slot = v;
+                    }
+                }
+                out
+            }
+            EncodedDelta::Q8 {
+                min,
+                scale,
+                levels,
+                exceptions,
+            } => {
+                let mut out: Vec<f32> =
+                    levels.iter().map(|&l| min + f32::from(l) * scale).collect();
+                for &(i, raw) in exceptions {
+                    if let Some(slot) = out.get_mut(i as usize) {
+                        *slot = raw;
+                    }
+                }
+                out
+            }
+            EncodedDelta::Q4 {
+                dim,
+                min,
+                scale,
+                packed,
+                exceptions,
+            } => {
+                let mut out = vec![0.0f32; *dim];
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let level = (packed.get(i / 2).copied().unwrap_or(0) >> ((i % 2) * 4)) & 0x0F;
+                    *slot = min + f32::from(level) * scale;
+                }
+                for &(i, raw) in exceptions {
+                    if let Some(slot) = out.get_mut(i as usize) {
+                        *slot = raw;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Decode-free accumulation over the whole vector:
+    /// `acc[j] += weight · decode()[j]`, without materializing the
+    /// decoded vector. See [`EncodedDelta::accumulate_range_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != self.dim()`.
+    pub fn accumulate_into(&self, acc: &mut [f64], weight: f32) {
+        assert_eq!(acc.len(), self.dim(), "accumulator length mismatch");
+        self.accumulate_range_into(0..self.dim(), acc, weight);
+    }
+
+    /// Decode-free accumulation of one dimension shard:
+    /// `acc[j] += weight as f64 · decode()[range][j] as f64` for `j`
+    /// ascending — **bit-identical** to decoding and then running
+    /// [`taco_tensor::shard::StripedTable::accumulate_shard`] over the
+    /// same range, because every per-dimension operation is the exact
+    /// widening multiply-add of that fold, performed in the same
+    /// ascending order (the AVX kernels are elementwise, so
+    /// vectorization cannot reorder any per-dimension arithmetic):
+    ///
+    /// - `Dense` runs [`linalg::scale_accumulate`] on the subslice.
+    /// - `Q8`/`Q4` run the fused dequantize-accumulate kernels over
+    ///   the level buffer, splitting around in-range escape entries so
+    ///   each escaped dimension contributes its raw value exactly once.
+    /// - `Sparse` adds only the stored coordinates. Skipping the zero
+    ///   coordinates is exact: the accumulator starts at `+0.0` and a
+    ///   finite IEEE sum can only become `−0.0` when every addend is
+    ///   `−0.0`, so `acc + (±0.0)` is always bitwise `acc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the dimension or `acc.len()` differs
+    /// from the range length.
+    pub fn accumulate_range_into(&self, range: Range<usize>, acc: &mut [f64], weight: f32) {
+        assert!(range.end <= self.dim(), "shard range out of bounds");
+        assert_eq!(acc.len(), range.len(), "shard accumulator length mismatch");
+        let w = f64::from(weight);
+        match self {
+            EncodedDelta::Dense(v) => {
+                linalg::scale_accumulate(acc, &v[range], w);
+            }
+            EncodedDelta::Sparse {
+                indices, values, ..
+            } => {
+                let lo = indices.partition_point(|&i| (i as usize) < range.start);
+                let hi = indices.partition_point(|&i| (i as usize) < range.end);
+                for (&i, &v) in indices[lo..hi].iter().zip(&values[lo..hi]) {
+                    acc[i as usize - range.start] += w * f64::from(v);
+                }
+            }
+            EncodedDelta::Q8 {
+                min,
+                scale,
+                levels,
+                exceptions,
+            } => {
+                let mut start = range.start;
+                for &(i, raw) in exceptions {
+                    let i = i as usize;
+                    if i < range.start || i >= range.end {
+                        continue;
+                    }
+                    linalg::dequant8_accumulate(
+                        &mut acc[start - range.start..i - range.start],
+                        &levels[start..i],
+                        *min,
+                        *scale,
+                        w,
+                    );
+                    acc[i - range.start] += w * f64::from(raw);
+                    start = i + 1;
+                }
+                linalg::dequant8_accumulate(
+                    &mut acc[start - range.start..],
+                    &levels[start..range.end],
+                    *min,
+                    *scale,
+                    w,
+                );
+            }
+            EncodedDelta::Q4 {
+                min,
+                scale,
+                packed,
+                exceptions,
+                ..
+            } => {
+                let mut start = range.start;
+                for &(i, raw) in exceptions {
+                    let i = i as usize;
+                    if i < range.start || i >= range.end {
+                        continue;
+                    }
+                    linalg::dequant4_accumulate(
+                        &mut acc[start - range.start..i - range.start],
+                        packed,
+                        start,
+                        *min,
+                        *scale,
+                        w,
+                    );
+                    acc[i - range.start] += w * f64::from(raw);
+                    start = i + 1;
+                }
+                linalg::dequant4_accumulate(
+                    &mut acc[start - range.start..],
+                    packed,
+                    start,
+                    *min,
+                    *scale,
+                    w,
+                );
+            }
+        }
+    }
+}
+
+/// A lossy vector codec producing a real wire message.
 pub trait Compressor: Send + Sync {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 
-    /// Compresses and immediately reconstructs `input`, returning the
-    /// lossy vector the receiver would decode.
-    fn roundtrip(&self, input: &[f32]) -> Vec<f32>;
+    /// Encodes `input` into its wire format. Stochastic codecs draw
+    /// rounding bits from `stream` (derive it with [`codec_stream`]
+    /// for the per-`(round, client)` determinism contract);
+    /// deterministic codecs ignore it.
+    fn encode(&self, input: &[f32], stream: &mut Prng) -> EncodedDelta;
 
-    /// Wire bytes needed to transmit a vector of length `dim`.
-    fn payload_bytes(&self, dim: usize) -> usize;
+    /// Encode-then-decode convenience: the lossy vector the receiver
+    /// reconstructs. Kept for error measurement and tests — the
+    /// simulation pipeline carries the [`EncodedDelta`] itself.
+    fn roundtrip(&self, input: &[f32], stream: &mut Prng) -> Vec<f32> {
+        self.encode(input, stream).decode()
+    }
+}
+
+/// Finite-only (min, max) of a slice; `(∞, −∞)` when no coordinate is
+/// finite. Unlike [`ops::min_max`], an `∞` input cannot poison the
+/// quantization range — non-finite coordinates travel as escape
+/// entries instead.
+fn finite_min_max(xs: &[f32]) -> (f32, f32) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &x in xs {
+        if x.is_finite() {
+            min = min.min(x);
+            max = max.max(x);
+        }
+    }
+    (min, max)
 }
 
 /// Keeps the `k` largest-magnitude coordinates (ties broken by index).
@@ -62,30 +416,52 @@ impl Compressor for TopK {
         "top-k"
     }
 
-    fn roundtrip(&self, input: &[f32]) -> Vec<f32> {
-        if input.is_empty() {
-            return Vec::new();
+    fn encode(&self, input: &[f32], _stream: &mut Prng) -> EncodedDelta {
+        let dim = input.len();
+        if dim == 0 {
+            return EncodedDelta::Sparse {
+                dim,
+                indices: Vec::new(),
+                values: Vec::new(),
+            };
         }
-        let k = self.k_for(input.len());
-        let mut idx: Vec<usize> = (0..input.len()).collect();
-        // total_cmp agrees with partial_cmp on finite values and gives
-        // NaN a fixed order instead of panicking mid-sort.
-        idx.sort_by(|&a, &b| input[b].abs().total_cmp(&input[a].abs()).then(a.cmp(&b)));
-        let mut out = vec![0.0f32; input.len()];
-        for &i in &idx[..k] {
-            out[i] = input[i];
+        let k = self.k_for(dim);
+        let mut idx: Vec<u32> = (0..dim as u32).collect();
+        // Magnitude-descending with ascending-index tie-break — the
+        // exact comparator of the original full sort. total_cmp agrees
+        // with partial_cmp on finite values and gives NaN a fixed
+        // order (|NaN| sorts above +∞, so NaN coordinates are kept and
+        // surface to validation) instead of panicking mid-selection.
+        let by_magnitude = |&a: &u32, &b: &u32| {
+            input[b as usize]
+                .abs()
+                .total_cmp(&input[a as usize].abs())
+                .then(a.cmp(&b))
+        };
+        if k < dim {
+            // O(d) partial selection: the comparator is a strict total
+            // order (ties broken by index), so the first k elements
+            // are exactly the old sort's first k — only their internal
+            // order differs, and the ascending re-sort below fixes the
+            // wire order.
+            idx.select_nth_unstable_by(k - 1, by_magnitude);
+            idx.truncate(k);
         }
-        out
-    }
-
-    fn payload_bytes(&self, dim: usize) -> usize {
-        // One (index: u32, value: f32) pair per kept coordinate.
-        self.k_for(dim) * 8
+        idx.sort_unstable();
+        let values = idx.iter().map(|&i| input[i as usize]).collect();
+        EncodedDelta::Sparse {
+            dim,
+            indices: idx,
+            values,
+        }
     }
 }
 
-/// Per-vector affine 8-bit quantization: values are mapped to 256
-/// uniform levels between the vector's min and max.
+/// Per-vector affine 8-bit quantization: finite values are mapped to
+/// 256 uniform levels between the vector's finite min and max with
+/// round-to-nearest; non-finite values travel as raw-bit escape
+/// entries (and are billed as such) so server-side validation still
+/// sees them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Uniform8Bit;
 
@@ -94,28 +470,86 @@ impl Compressor for Uniform8Bit {
         "uniform-8bit"
     }
 
-    fn roundtrip(&self, input: &[f32]) -> Vec<f32> {
-        if input.is_empty() {
-            return Vec::new();
+    fn encode(&self, input: &[f32], _stream: &mut Prng) -> EncodedDelta {
+        let (lo, hi) = finite_min_max(input);
+        let (min, scale) = if lo > hi {
+            // No finite coordinate at all: every entry is an escape.
+            (0.0, 0.0)
+        } else {
+            (lo, (hi - lo) / 255.0)
+        };
+        let mut levels = Vec::with_capacity(input.len());
+        let mut exceptions = Vec::new();
+        for (i, &x) in input.iter().enumerate() {
+            if !x.is_finite() {
+                exceptions.push((i as u32, x));
+                levels.push(0);
+            } else if scale > 0.0 {
+                levels.push(((x - min) / scale).round().clamp(0.0, 255.0) as u8);
+            } else {
+                // Constant vector: level 0 decodes to `min` exactly.
+                levels.push(0);
+            }
         }
-        let (min, max) = ops::min_max(input);
-        let range = max - min;
-        if range <= 0.0 || !range.is_finite() {
-            return input.to_vec();
+        EncodedDelta::Q8 {
+            min,
+            scale,
+            levels,
+            exceptions,
         }
-        let scale = range / 255.0;
-        input
-            .iter()
-            .map(|&x| {
-                let level = ((x - min) / scale).round().clamp(0.0, 255.0);
-                min + level * scale
-            })
-            .collect()
+    }
+}
+
+/// Per-vector affine 4-bit quantization with seeded *stochastic*
+/// rounding: a coordinate at fractional level `t` rounds up with
+/// probability `t − ⌊t⌋`, so `E[decode(x)] = x` — unbiased, which
+/// matters at 16 levels where nearest-rounding bias would accumulate
+/// across rounds. Rounding bits come from the caller's salted
+/// per-`(round, client)` stream, so encodings are bit-reproducible at
+/// any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stochastic4Bit;
+
+impl Compressor for Stochastic4Bit {
+    fn name(&self) -> &'static str {
+        "stochastic-4bit"
     }
 
-    fn payload_bytes(&self, dim: usize) -> usize {
-        // One byte per coordinate plus the (min, max) header.
-        dim + 8
+    fn encode(&self, input: &[f32], stream: &mut Prng) -> EncodedDelta {
+        let dim = input.len();
+        let (lo, hi) = finite_min_max(input);
+        let (min, scale) = if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, (hi - lo) / 15.0)
+        };
+        let mut packed = vec![0u8; dim.div_ceil(2)];
+        let mut exceptions = Vec::new();
+        for (i, &x) in input.iter().enumerate() {
+            let level: u8 = if !x.is_finite() {
+                exceptions.push((i as u32, x));
+                0
+            } else if scale > 0.0 {
+                let t = ((x - min) / scale).clamp(0.0, 15.0);
+                let floor = t.floor();
+                // One draw per finite coordinate, in index order — the
+                // stream position is a pure function of the input, so
+                // the encoding is deterministic given (seed, round,
+                // client, input).
+                let up = stream.uniform_f32() < t - floor;
+                (floor as u8 + u8::from(up)).min(15)
+            } else {
+                0
+            };
+            packed[i / 2] |= level << ((i % 2) * 4);
+        }
+        EncodedDelta::Q4 {
+            dim,
+            min,
+            scale,
+            packed,
+            exceptions,
+        }
     }
 }
 
@@ -128,23 +562,56 @@ impl Compressor for NoCompression {
         "none"
     }
 
-    fn roundtrip(&self, input: &[f32]) -> Vec<f32> {
-        input.to_vec()
-    }
-
-    fn payload_bytes(&self, dim: usize) -> usize {
-        dim * 4
+    fn encode(&self, input: &[f32], _stream: &mut Prng) -> EncodedDelta {
+        EncodedDelta::Dense(input.to_vec())
     }
 }
 
-/// Relative compression error `‖x − C(x)‖ / ‖x‖` (0 for a zero input).
+/// Builds a codec from its registry name (`none`, `topk`, `q8`, `q4`);
+/// `None` for unknown names.
+pub fn codec_by_name(name: &str) -> Option<Arc<dyn Compressor>> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "none" => Some(Arc::new(NoCompression)),
+        "topk" => Some(Arc::new(TopK::new(0.1))),
+        "q8" => Some(Arc::new(Uniform8Bit)),
+        "q4" => Some(Arc::new(Stochastic4Bit)),
+        _ => None,
+    }
+}
+
+/// The codec selected by `TACO_CODEC` (`none`, `topk`, `q8`, `q4`);
+/// `None` when unset or empty. An unrecognized name warns once on
+/// stderr and runs uncompressed, mirroring `TACO_BACKEND`'s fallback.
+pub fn codec_from_env() -> Option<Arc<dyn Compressor>> {
+    let name = taco_trace::env::codec_name()?;
+    let trimmed = name.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match codec_by_name(trimmed) {
+        Some(codec) => Some(codec),
+        None => {
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "warning: unknown TACO_CODEC '{trimmed}', running uncompressed \
+                     (expected 'none', 'topk', 'q8', or 'q4')"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// Relative compression error `‖x − C(x)‖ / ‖x‖` (0 for a zero
+/// input), measured with a fixed rounding stream.
 pub fn relative_error(compressor: &dyn Compressor, input: &[f32]) -> f64 {
-    let norm = taco_tensor::ops::norm(input) as f64;
+    let norm = ops::norm(input) as f64;
     if norm < 1e-12 {
         return 0.0;
     }
-    let out = compressor.roundtrip(input);
-    let err = taco_tensor::ops::norm(&taco_tensor::ops::sub(input, &out)) as f64;
+    let out = compressor.roundtrip(input, &mut codec_stream(0, 0, 0));
+    let err = ops::norm(&ops::sub(input, &out)) as f64;
     err / norm
 }
 
@@ -153,11 +620,72 @@ mod tests {
     use super::*;
     use taco_tensor::{ops, Prng, Tensor};
 
+    fn stream() -> Prng {
+        codec_stream(7, 0, 0)
+    }
+
+    fn rt(c: &dyn Compressor, input: &[f32]) -> Vec<f32> {
+        c.roundtrip(input, &mut stream())
+    }
+
+    /// The pre-partial-selection TopK implementation, frozen verbatim
+    /// as the differential reference: full `O(d log d)` sort by
+    /// magnitude with the ascending-index tie-break.
+    fn top_k_sort_reference(input: &[f32], k: usize) -> Vec<f32> {
+        let mut idx: Vec<usize> = (0..input.len()).collect();
+        idx.sort_by(|&a, &b| input[b].abs().total_cmp(&input[a].abs()).then(a.cmp(&b)));
+        let mut out = vec![0.0f32; input.len()];
+        for &i in &idx[..k] {
+            out[i] = input[i];
+        }
+        out
+    }
+
     #[test]
     fn topk_keeps_largest() {
         let c = TopK::new(0.5);
-        let out = c.roundtrip(&[0.1, -5.0, 0.2, 3.0]);
+        let out = rt(&c, &[0.1, -5.0, 0.2, 3.0]);
         assert_eq!(out, vec![0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn topk_partial_selection_matches_full_sort_on_adversarial_inputs() {
+        // Ties, duplicates, signed duplicates, NaNs, infinities, zeros
+        // — every input where a sloppy comparator or an unstable
+        // selection could diverge from the frozen sort reference.
+        let mut rng = Prng::seed_from_u64(99);
+        let mut cases: Vec<Vec<f32>> = vec![
+            vec![1.0; 64],
+            vec![-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0],
+            vec![0.0; 17],
+            vec![2.0, -2.0, 2.0, -2.0, 0.5, 0.5, 0.5, 3.0],
+            vec![f32::NAN, 1.0, -2.0, f32::NAN, 0.0, 5.0],
+            vec![f32::INFINITY, f32::NEG_INFINITY, 1.0, -1.0, f32::NAN],
+            vec![-0.0, 0.0, 1.0, -1.0],
+        ];
+        for _ in 0..8 {
+            // Random vectors with heavy duplication (quantized draws).
+            cases.push(
+                (0..129)
+                    .map(|_| (rng.below(7) as f32 - 3.0) * 0.5)
+                    .collect(),
+            );
+        }
+        for input in &cases {
+            for frac in [0.01, 0.25, 0.5, 1.0] {
+                let c = TopK::new(frac);
+                let got = rt(&c, input);
+                let want = top_k_sort_reference(input, c.k_for(input.len()));
+                assert_eq!(got.len(), want.len());
+                for (i, (p, q)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        p.to_bits(),
+                        q.to_bits(),
+                        "frac {frac} dim {i}: {p} vs {q} for {input:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -175,15 +703,44 @@ mod tests {
     #[test]
     fn topk_full_fraction_is_identity() {
         let x = vec![1.0, -2.0, 3.0];
-        assert_eq!(TopK::new(1.0).roundtrip(&x), x);
-        assert_eq!(TopK::new(1.0).payload_bytes(3), 24);
+        assert_eq!(rt(&TopK::new(1.0), &x), x);
+        // dim/nnz header + 3 × (idx, value).
+        assert_eq!(TopK::new(1.0).encode(&x, &mut stream()).wire_bytes(), 32);
+    }
+
+    #[test]
+    fn sparse_encode_decode_is_identity_on_kept_coordinates() {
+        let mut rng = Prng::seed_from_u64(21);
+        let x = Tensor::randn([301], 1.0, &mut rng).into_vec();
+        let enc = TopK::new(0.2).encode(&x, &mut stream());
+        assert!(enc.check_integrity());
+        let EncodedDelta::Sparse {
+            dim,
+            indices,
+            values,
+        } = &enc
+        else {
+            panic!("top-k must encode sparse");
+        };
+        assert_eq!(*dim, x.len());
+        let decoded = enc.decode();
+        for (&i, &v) in indices.iter().zip(values) {
+            assert_eq!(v.to_bits(), x[i as usize].to_bits(), "kept value altered");
+            assert_eq!(decoded[i as usize].to_bits(), v.to_bits());
+        }
+        let kept: std::collections::BTreeSet<u32> = indices.iter().copied().collect();
+        for (i, &d) in decoded.iter().enumerate() {
+            if !kept.contains(&(i as u32)) {
+                assert_eq!(d, 0.0, "dropped coordinate {i} not zero");
+            }
+        }
     }
 
     #[test]
     fn quantization_error_is_bounded_by_half_step() {
         let mut rng = Prng::seed_from_u64(2);
         let x = Tensor::randn([1000], 2.0, &mut rng).into_vec();
-        let out = Uniform8Bit.roundtrip(&x);
+        let out = rt(&Uniform8Bit, &x);
         let min = x.iter().cloned().fold(f32::INFINITY, f32::min);
         let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let half_step = (max - min) / 255.0 / 2.0;
@@ -195,35 +752,249 @@ mod tests {
     #[test]
     fn quantization_of_constant_vector_is_exact() {
         let x = vec![0.7; 16];
-        assert_eq!(Uniform8Bit.roundtrip(&x), x);
+        assert_eq!(rt(&Uniform8Bit, &x), x);
+    }
+
+    /// Regression for the non-finite passthrough bug: the old
+    /// `roundtrip` returned the input *verbatim* whenever `max − min`
+    /// was non-finite, so an `∞`-carrying delta sailed through the
+    /// "256-level" codec losslessly while `payload_bytes` still billed
+    /// quantized bytes. Now the finite coordinates must actually be
+    /// quantized, the non-finite ones must survive to validation, and
+    /// the wire accounting must bill the escapes.
+    #[test]
+    fn non_finite_coordinates_are_escaped_not_passed_through() {
+        let mut x = vec![0.0f32; 64];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = (i as f32) * 0.1 - 3.0;
+        }
+        x[5] = f32::NAN;
+        x[41] = f32::INFINITY;
+        for codec in [&Uniform8Bit as &dyn Compressor, &Stochastic4Bit] {
+            let enc = codec.encode(&x, &mut stream());
+            assert!(enc.check_integrity(), "{}", codec.name());
+            let out = enc.decode();
+            // The non-finite coordinates surface to validation...
+            assert!(out[5].is_nan(), "{}: NaN swallowed", codec.name());
+            assert_eq!(out[41], f32::INFINITY, "{}: ∞ swallowed", codec.name());
+            assert!(!ops::all_finite(&out), "{}", codec.name());
+            // ...the finite ones went through the quantizer (verbatim
+            // passthrough would reproduce them exactly; with at most
+            // 256 levels over this range at least one must move)...
+            let moved = x
+                .iter()
+                .zip(&out)
+                .filter(|(a, _)| a.is_finite())
+                .any(|(a, b)| a.to_bits() != b.to_bits());
+            assert!(
+                moved,
+                "{}: finite coords passed through verbatim",
+                codec.name()
+            );
+            // ...and the escapes are billed at 8 bytes each on top of
+            // the level bytes.
+            let base = match codec.name() {
+                "uniform-8bit" => 12 + x.len(),
+                _ => 16 + x.len().div_ceil(2),
+            };
+            assert_eq!(enc.wire_bytes(), base + 2 * 8, "{}", codec.name());
+        }
     }
 
     #[test]
-    fn payload_sizes_are_ordered() {
-        let dim = 10_000;
-        assert!(TopK::new(0.01).payload_bytes(dim) < Uniform8Bit.payload_bytes(dim));
-        assert!(Uniform8Bit.payload_bytes(dim) < NoCompression.payload_bytes(dim));
+    fn all_non_finite_vector_is_all_escapes() {
+        let x = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let enc = Uniform8Bit.encode(&x, &mut stream());
+        let out = enc.decode();
+        assert!(out[0].is_nan());
+        assert_eq!(out[1], f32::INFINITY);
+        assert_eq!(out[2], f32::NEG_INFINITY);
+        assert_eq!(enc.wire_bytes(), 12 + 3 + 3 * 8);
+    }
+
+    #[test]
+    fn stochastic_quantization_is_deterministic_per_stream_cell() {
+        let mut rng = Prng::seed_from_u64(4);
+        let x = Tensor::randn([777], 1.0, &mut rng).into_vec();
+        let a = Stochastic4Bit.encode(&x, &mut codec_stream(42, 3, 5));
+        let b = Stochastic4Bit.encode(&x, &mut codec_stream(42, 3, 5));
+        assert_eq!(
+            a, b,
+            "same (seed, round, client) must re-encode identically"
+        );
+        let other = Stochastic4Bit.encode(&x, &mut codec_stream(42, 3, 6));
+        assert_ne!(a, other, "different clients must draw different rounding");
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased_within_a_level_step() {
+        // A coordinate exactly 30% of the way between two levels must
+        // round up ~30% of the time, and the error never exceeds one
+        // full step.
+        let x: Vec<f32> = (0..2000)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 15.3 })
+            .collect();
+        let enc = Stochastic4Bit.encode(&x, &mut stream());
+        let out = enc.decode();
+        let step = 15.3 / 15.0;
+        let mut ups = 0usize;
+        for (a, b) in x.iter().zip(&out) {
+            assert!((a - b).abs() <= step * 1.001, "{a} vs {b}");
+            if *a > 0.0 && *b > *a {
+                ups += 1;
+            }
+        }
+        let frac = ups as f64 / 1000.0;
+        assert!(
+            (0.15..0.45).contains(&frac),
+            "round-up fraction {frac} far from the 0.3 target"
+        );
+    }
+
+    #[test]
+    fn wire_sizes_are_ordered() {
+        let mut rng = Prng::seed_from_u64(6);
+        let x = Tensor::randn([10_000], 1.0, &mut rng).into_vec();
+        let bytes = |c: &dyn Compressor| c.encode(&x, &mut stream()).wire_bytes();
+        assert!(bytes(&TopK::new(0.01)) < bytes(&Stochastic4Bit));
+        assert!(bytes(&Stochastic4Bit) < bytes(&Uniform8Bit));
+        assert!(bytes(&Uniform8Bit) < bytes(&NoCompression));
+        assert_eq!(bytes(&NoCompression), 40_000);
     }
 
     #[test]
     fn no_compression_is_lossless() {
         let mut rng = Prng::seed_from_u64(3);
         let x = Tensor::randn([64], 1.0, &mut rng).into_vec();
-        assert_eq!(NoCompression.roundtrip(&x), x);
+        assert_eq!(rt(&NoCompression, &x), x);
         assert_eq!(relative_error(&NoCompression, &x), 0.0);
     }
 
     #[test]
     fn empty_inputs_are_safe() {
-        assert!(TopK::new(0.5).roundtrip(&[]).is_empty());
-        assert!(Uniform8Bit.roundtrip(&[]).is_empty());
+        for c in [
+            &TopK::new(0.5) as &dyn Compressor,
+            &Uniform8Bit,
+            &Stochastic4Bit,
+            &NoCompression,
+        ] {
+            let enc = c.encode(&[], &mut stream());
+            assert_eq!(enc.dim(), 0, "{}", c.name());
+            assert!(enc.decode().is_empty(), "{}", c.name());
+            assert!(enc.check_integrity(), "{}", c.name());
+            let mut acc: Vec<f64> = Vec::new();
+            enc.accumulate_into(&mut acc, 1.0);
+        }
     }
 
     #[test]
     fn topk_preserves_direction() {
         let mut rng = Prng::seed_from_u64(4);
         let x = Tensor::randn([512], 1.0, &mut rng).into_vec();
-        let out = TopK::new(0.2).roundtrip(&x);
+        let out = rt(&TopK::new(0.2), &x);
         assert!(ops::cosine_similarity(&x, &out) > 0.5);
+    }
+
+    #[test]
+    fn accumulate_into_matches_decode_then_add_bitwise() {
+        let mut rng = Prng::seed_from_u64(8);
+        let dim = 1003;
+        let mut x = Tensor::randn([dim], 1.0, &mut rng).into_vec();
+        // Exercise the escape-splitting paths too.
+        x[17] = f32::NAN;
+        x[900] = f32::INFINITY;
+        for c in [
+            &NoCompression as &dyn Compressor,
+            &TopK::new(0.1),
+            &Uniform8Bit,
+            &Stochastic4Bit,
+        ] {
+            let enc = c.encode(&x, &mut stream());
+            let decoded = enc.decode();
+            for w in [1.0f32, 0.25, -2.5] {
+                let mut want = vec![0.0f64; dim];
+                for (a, &v) in want.iter_mut().zip(&decoded) {
+                    *a += f64::from(w) * f64::from(v);
+                }
+                // Whole-vector fold.
+                let mut got = vec![0.0f64; dim];
+                enc.accumulate_into(&mut got, w);
+                // Ragged shard split at awkward boundaries (odd split
+                // points cross the Q4 nibble parity).
+                let mut split = vec![0.0f64; dim];
+                for (start, end) in [(0usize, 333usize), (333, 334), (334, 1003)] {
+                    enc.accumulate_range_into(start..end, &mut split[start..end], w);
+                }
+                for (i, ((p, q), r)) in got.iter().zip(&want).zip(&split).enumerate() {
+                    assert_eq!(
+                        p.to_bits(),
+                        q.to_bits(),
+                        "{} w={w} dim {i}: {p} vs {q}",
+                        c.name()
+                    );
+                    assert_eq!(
+                        r.to_bits(),
+                        q.to_bits(),
+                        "{} w={w} dim {i} (split): {r} vs {q}",
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integrity_check_rejects_malformed_messages() {
+        let good = EncodedDelta::Sparse {
+            dim: 10,
+            indices: vec![1, 4, 7],
+            values: vec![1.0, 2.0, 3.0],
+        };
+        assert!(good.check_integrity());
+        let out_of_range = EncodedDelta::Sparse {
+            dim: 10,
+            indices: vec![1, 4, 10],
+            values: vec![1.0, 2.0, 3.0],
+        };
+        assert!(!out_of_range.check_integrity());
+        let unsorted = EncodedDelta::Sparse {
+            dim: 10,
+            indices: vec![4, 1, 7],
+            values: vec![1.0, 2.0, 3.0],
+        };
+        assert!(!unsorted.check_integrity());
+        let ragged = EncodedDelta::Sparse {
+            dim: 10,
+            indices: vec![1, 4],
+            values: vec![1.0, 2.0, 3.0],
+        };
+        assert!(!ragged.check_integrity());
+        let truncated_q4 = EncodedDelta::Q4 {
+            dim: 9,
+            min: 0.0,
+            scale: 1.0,
+            packed: vec![0; 4],
+            exceptions: Vec::new(),
+        };
+        assert!(!truncated_q4.check_integrity());
+        // Decode stays panic-free on all of them.
+        for bad in [&out_of_range, &unsorted, &truncated_q4] {
+            let _ = bad.decode();
+        }
+    }
+
+    #[test]
+    fn codec_registry_names_resolve() {
+        for (name, display) in [
+            ("none", "none"),
+            ("topk", "top-k"),
+            ("q8", "uniform-8bit"),
+            ("q4", "stochastic-4bit"),
+            (" Q8 ", "uniform-8bit"),
+        ] {
+            let c = codec_by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(c.name(), display);
+        }
+        assert!(codec_by_name("zstd").is_none());
     }
 }

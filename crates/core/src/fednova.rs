@@ -110,6 +110,7 @@ mod tests {
             grad_evals: steps,
             steps,
             compute_seconds: 0.0,
+            encoded: None,
         }
     }
 

@@ -100,6 +100,12 @@ pub struct ClientUpdate {
     /// Measured local compute time in seconds (filled by the
     /// simulator; algorithms must not read it).
     pub compute_seconds: f64,
+    /// The wire-format payload when an upload codec is active (`None`
+    /// for uncompressed runs). When present, `delta` holds the decoded
+    /// lossy vector and the sharded backend folds this encoding
+    /// decode-free; validation checks its structural integrity before
+    /// trusting the floats.
+    pub encoded: Option<crate::compress::EncodedDelta>,
 }
 
 impl ClientUpdate {
@@ -115,6 +121,7 @@ impl ClientUpdate {
             grad_evals: outcome.grad_evals,
             steps: outcome.steps,
             compute_seconds: 0.0,
+            encoded: None,
         }
     }
 }

@@ -190,17 +190,36 @@ impl ShardedBackend {
         }
     }
 
-    /// Accumulates one delta into `table` with the given weight,
+    /// Folds one upload's payload into shard `s` of `table` —
+    /// **decode-free** when the update carries its wire encoding:
+    /// quantized/sparse payloads accumulate straight into the shard's
+    /// `f64` sums via `EncodedDelta::accumulate_range_into`, which is
+    /// bit-identical to decoding first and running the dense
+    /// `accumulate_shard` fold (each dimension performs the exact same
+    /// widening multiply-add, in the same ascending order).
+    fn fold_shard(table: &StripedTable, s: usize, weight: f32, update: &ClientUpdate) {
+        match &update.encoded {
+            Some(enc) => table.accumulate_shard_with(s, |range, acc| {
+                enc.accumulate_range_into(range, acc, weight);
+            }),
+            None => table.accumulate_shard(s, weight, &update.delta),
+        }
+    }
+
+    /// Accumulates one upload into `table` with the given weight,
     /// shard-parallel on the worker pool when the model is big enough
     /// for the dispatch to pay off. Each shard touches disjoint
     /// dimensions, so the schedule cannot reorder any per-dimension
     /// fold.
-    fn accumulate(table: &StripedTable, weight: f32, values: &[f32]) {
+    fn accumulate(table: &StripedTable, weight: f32, update: &ClientUpdate) {
         let shards = table.spec().num_shards();
-        if shards > 1 && values.len() >= PARALLEL_DIM_FLOOR && pool::effective_parallelism() > 1 {
-            pool::for_each_index(shards, |s| table.accumulate_shard(s, weight, values));
+        let dim = table.spec().dim();
+        if shards > 1 && dim >= PARALLEL_DIM_FLOOR && pool::effective_parallelism() > 1 {
+            pool::for_each_index(shards, |s| Self::fold_shard(table, s, weight, update));
         } else {
-            table.accumulate(weight, values);
+            for s in 0..shards {
+                Self::fold_shard(table, s, weight, update);
+            }
         }
     }
 
@@ -301,7 +320,7 @@ impl AggregationBackend for ShardedBackend {
         if self.wants_stats {
             if let Some(state) = &self.state {
                 let _span = trace::Span::quiet(phase::SHARD_MERGE);
-                Self::accumulate(state.stats_sums.active(), 1.0, &update.delta);
+                Self::accumulate(state.stats_sums.active(), 1.0, &update);
                 self.active_dirty = true;
             }
         }
@@ -349,7 +368,7 @@ impl AggregationBackend for ShardedBackend {
                 let scratch = &state.scratch;
                 let accumulate_shard = |s: usize| {
                     for (u, &w) in updates.iter().zip(&plan.weights) {
-                        scratch.accumulate_shard(s, w, &u.delta);
+                        Self::fold_shard(scratch, s, w, u);
                     }
                 };
                 let shards = state.spec.num_shards();
@@ -475,6 +494,7 @@ mod tests {
             grad_evals: 0,
             steps: 1,
             compute_seconds: 0.0,
+            encoded: None,
         }
     }
 

@@ -37,6 +37,7 @@
 //! are consumed in a fixed order so a plan's dropout stream does not
 //! shift when the corruption probability changes.
 
+use taco_core::compress::EncodedDelta;
 use taco_core::ClientUpdate;
 use taco_tensor::{ops, Prng};
 
@@ -148,6 +149,10 @@ pub enum RejectReason {
     NonFinite,
     /// `‖Δ_i‖₂` exceeds the policy's bound.
     NormExploded,
+    /// The encoded payload is structurally invalid (out-of-range or
+    /// unsorted indices, truncated level buffer) — rejected before the
+    /// decoded floats are trusted.
+    MalformedEncoding,
 }
 
 impl RejectReason {
@@ -156,14 +161,22 @@ impl RejectReason {
         match self {
             RejectReason::NonFinite => "non_finite",
             RejectReason::NormExploded => "norm_exploded",
+            RejectReason::MalformedEncoding => "malformed_encoding",
         }
     }
 }
 
 impl ValidationPolicy {
     /// Validates one received upload; `Err` names the quarantine
-    /// reason.
+    /// reason. Encoded payloads are structure-checked first: a
+    /// corrupted index or level buffer is quarantined as malformed
+    /// even when the decoded floats happen to look plausible.
     pub fn validate(&self, update: &ClientUpdate) -> Result<(), RejectReason> {
+        if let Some(enc) = &update.encoded {
+            if !enc.check_integrity() {
+                return Err(RejectReason::MalformedEncoding);
+            }
+        }
         if !ops::all_finite(&update.delta) {
             return Err(RejectReason::NonFinite);
         }
@@ -397,6 +410,45 @@ pub fn apply_corruption(delta: &mut [f32], corruption: Corruption) {
     }
 }
 
+/// Applies a wire corruption to an *encoded* upload in place — the
+/// damage lands on what actually travels (an index, a value slot, or
+/// the scale header), not on the decoded f32s. The three corruption
+/// kinds map onto format-appropriate damage so the existing fault draw
+/// stream is reused unchanged:
+///
+/// - `NanPoison` poisons a payload value (sparse `values[0]`) or the
+///   quantization `scale` header, so every dequantized coordinate goes
+///   NaN.
+/// - `InfPoison` breaks a sparse index (`u32::MAX` — caught as a
+///   malformed encoding before decode is trusted) or sends the `min`
+///   header to `+∞`.
+/// - `Scale` multiplies the payload values / the `scale` header, the
+///   encoded analogue of a norm explosion.
+pub fn apply_corruption_encoded(enc: &mut EncodedDelta, corruption: Corruption) {
+    match enc {
+        EncodedDelta::Dense(v) => apply_corruption(v, corruption),
+        EncodedDelta::Sparse {
+            values, indices, ..
+        } => {
+            if values.is_empty() {
+                return;
+            }
+            match corruption {
+                Corruption::NanPoison => values[0] = f32::NAN,
+                Corruption::InfPoison => indices[0] = u32::MAX,
+                Corruption::Scale { factor } => ops::scale(values, factor),
+            }
+        }
+        EncodedDelta::Q8 { min, scale, .. } | EncodedDelta::Q4 { min, scale, .. } => {
+            match corruption {
+                Corruption::NanPoison => *scale = f32::NAN,
+                Corruption::InfPoison => *min = f32::INFINITY,
+                Corruption::Scale { factor } => *scale *= factor,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +463,7 @@ mod tests {
             grad_evals: 0,
             steps: 1,
             compute_seconds: 0.0,
+            encoded: None,
         }
     }
 

@@ -82,14 +82,29 @@ pub(crate) fn process_uploads(
             });
         }
     }
-    // Lossy upload compression + byte accounting.
+    // Lossy upload compression + byte accounting. Each client encodes
+    // with a salted per-(round, client) rounding stream, wire bytes
+    // are measured from the actual encoding, and — when a fault plan
+    // is active — wire corruption is applied to the *encoded* payload
+    // (an index, a value slot, or the scale header), since that is
+    // what travels. The update then carries both the encoding (for
+    // decode-free aggregation and integrity validation) and the
+    // decoded lossy delta (for algorithms and norm checks).
     let compress_span = trace::Span::quiet(crate::phase::COMPRESS);
     let upload_bytes: usize = match &config.upload_compressor {
         Some(c) => {
             let mut bytes = 0;
             for u in &mut updates {
-                u.delta = c.roundtrip(&u.delta);
-                bytes += c.payload_bytes(u.delta.len());
+                let mut stream = taco_core::compress::codec_stream(config.seed, round, u.client);
+                let mut enc = c.encode(&u.delta, &mut stream);
+                if config.fault_plan.is_some() {
+                    if let Some(FaultKind::Corrupt(corruption)) = fault_of[u.client] {
+                        crate::fault::apply_corruption_encoded(&mut enc, corruption);
+                    }
+                }
+                bytes += enc.wire_bytes();
+                u.delta = enc.decode();
+                u.encoded = Some(enc);
             }
             bytes
         }
@@ -97,16 +112,18 @@ pub(crate) fn process_uploads(
     };
     let compress_secs = compress_span.finish();
     trace::counter("sim.upload_bytes").add(upload_bytes as u64);
-    // Wire corruption happens after compression (the payload is
-    // damaged in transit), then the server quarantines anything
-    // non-finite or norm-exploded before the backend sees it and
-    // reports the offender to the algorithm's freeloader-detection
-    // machinery. Quarantined uploads did arrive, so their bytes stay
-    // counted.
+    // The server quarantines anything malformed, non-finite, or
+    // norm-exploded before the backend sees it and reports the
+    // offender to the algorithm's freeloader-detection machinery.
+    // Quarantined uploads did arrive, so their bytes stay counted.
     if let Some(plan) = &config.fault_plan {
-        for u in &mut updates {
-            if let Some(FaultKind::Corrupt(corruption)) = fault_of[u.client] {
-                crate::fault::apply_corruption(&mut u.delta, corruption);
+        // Uncompressed runs corrupt the dense floats directly (there
+        // is no other wire representation to damage).
+        if config.upload_compressor.is_none() {
+            for u in &mut updates {
+                if let Some(FaultKind::Corrupt(corruption)) = fault_of[u.client] {
+                    crate::fault::apply_corruption(&mut u.delta, corruption);
+                }
             }
         }
         for u in updates {

@@ -166,6 +166,23 @@ impl StripedTable {
         }
     }
 
+    /// Runs `f` on shard `s`'s dimension range and locked accumulator
+    /// slice — the decode-free entry point: codecs fold an encoded
+    /// payload straight into the `f64` sums without materializing a
+    /// decoded vector. The caller owns the determinism contract: the
+    /// per-dimension additions `f` performs must reproduce the
+    /// `acc += weight as f64 * x as f64` fold of
+    /// [`StripedTable::accumulate_shard`] in ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn accumulate_shard_with(&self, s: usize, f: impl FnOnce(Range<usize>, &mut [f64])) {
+        let range = self.spec.range(s);
+        let mut acc = lock(&self.stripes[s]);
+        f(range, &mut acc);
+    }
+
     /// Writes shard `s`'s merged value `(acc[j] / total) as f32` into
     /// the matching range of `out` — the read-out arithmetic of
     /// [`crate::ops::weighted_mean`].

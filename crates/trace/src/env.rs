@@ -29,7 +29,7 @@ pub struct EnvVar {
 /// Every `TACO_*` variable the workspace recognizes. taco-check D8
 /// cross-checks this registry against all use sites and against the
 /// README/EXPERIMENTS docs in both directions.
-pub const REGISTRY: [EnvVar; 14] = [
+pub const REGISTRY: [EnvVar; 15] = [
     EnvVar {
         name: "TACO_TRACE",
         doc: "JSONL trace sink file path; unset/empty disables tracing",
@@ -45,6 +45,10 @@ pub const REGISTRY: [EnvVar; 14] = [
     EnvVar {
         name: "TACO_SHARDS",
         doc: "shard count for the sharded backend (positive integer; default 8)",
+    },
+    EnvVar {
+        name: "TACO_CODEC",
+        doc: "upload codec for codec-aware tests/benches: `none`, `topk`, `q8`, or `q4`",
     },
     EnvVar {
         name: "TACO_SCALE",
@@ -137,6 +141,12 @@ pub fn shards() -> Option<usize> {
     raw("TACO_SHARDS")
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
+}
+
+/// `TACO_CODEC`: the raw upload-codec name; interpretation (and the
+/// unknown-name warning) stays with `core::compress`.
+pub fn codec_name() -> Option<String> {
+    raw("TACO_CODEC")
 }
 
 /// `TACO_SCALE`: the raw scale name (`quick`/`paper`).
@@ -234,6 +244,7 @@ mod tests {
         let _ = threads();
         let _ = backend_name();
         let _ = shards();
+        let _ = codec_name();
         let _ = scale_name();
         let _ = seeds();
         let _ = clients();

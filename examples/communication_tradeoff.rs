@@ -56,7 +56,9 @@ fn main() {
         let acc = history.accuracy_series();
         let secs = history.per_round_seconds();
         let mb = history.total_upload_bytes() as f64 / 1e6;
-        let per_round_bytes = codec.payload_bytes(params);
+        // Measured mean uplink bytes per client per round — from the
+        // actual wire encodings, not a formula over the dense length.
+        let per_round_bytes = history.total_upload_bytes() / (rounds * clients);
         let report = |link: CommModel| -> String {
             let comm = link.round_seconds(per_round_bytes, params * 4);
             let (t, reached) = time_to_accuracy_with_comm(&acc, &secs, comm, target);
