@@ -265,9 +265,21 @@ impl EncodedDelta {
     ///
     /// Panics if `range` exceeds the dimension or `acc.len()` differs
     /// from the range length.
+    ///
+    /// Unlike [`EncodedDelta::decode`], which is defensive, the index
+    /// arithmetic here trusts the encoding's structure: a malformed
+    /// message (unsorted or out-of-range exception indices, an
+    /// undersized level buffer) may panic. Callers must gate
+    /// untrusted encodings through [`EncodedDelta::check_integrity`]
+    /// first — the server's validation path does exactly that before
+    /// anything reaches the backend accumulators.
     pub fn accumulate_range_into(&self, range: Range<usize>, acc: &mut [f64], weight: f32) {
         assert!(range.end <= self.dim(), "shard range out of bounds");
         assert_eq!(acc.len(), range.len(), "shard accumulator length mismatch");
+        debug_assert!(
+            self.check_integrity(),
+            "accumulate_range_into on a malformed encoding: callers must check_integrity() first"
+        );
         let w = f64::from(weight);
         match self {
             EncodedDelta::Dense(v) => {
@@ -459,9 +471,11 @@ impl Compressor for TopK {
 
 /// Per-vector affine 8-bit quantization: finite values are mapped to
 /// 256 uniform levels between the vector's finite min and max with
-/// round-to-nearest; non-finite values travel as raw-bit escape
-/// entries (and are billed as such) so server-side validation still
-/// sees them.
+/// round-to-nearest; non-finite values — and finite ones whose f32
+/// reconstruction would overflow on extreme-range inputs — travel as
+/// raw escape entries (and are billed as such) so server-side
+/// validation still sees them and the codec never fabricates a
+/// non-finite value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Uniform8Bit;
 
@@ -476,20 +490,30 @@ impl Compressor for Uniform8Bit {
             // No finite coordinate at all: every entry is an escape.
             (0.0, 0.0)
         } else {
-            (lo, (hi - lo) / 255.0)
+            // The step is computed in f64: `hi - lo` can overflow f32
+            // for extreme-range inputs (coords near ±2e38), and an
+            // infinite scale would decode every level to NaN.
+            (lo, ((f64::from(hi) - f64::from(lo)) / 255.0) as f32)
         };
         let mut levels = Vec::with_capacity(input.len());
         let mut exceptions = Vec::new();
         for (i, &x) in input.iter().enumerate() {
-            if !x.is_finite() {
-                exceptions.push((i as u32, x));
-                levels.push(0);
-            } else if scale > 0.0 {
-                levels.push(((x - min) / scale).round().clamp(0.0, 255.0) as u8);
-            } else {
-                // Constant vector: level 0 decodes to `min` exactly.
-                levels.push(0);
+            let mut level = 0u8;
+            if x.is_finite() && scale > 0.0 {
+                // `x - min` may overflow to +∞ on extreme ranges; the
+                // clamp maps that to the top level.
+                level = ((x - min) / scale).round().clamp(0.0, 255.0) as u8;
             }
+            // A finite step can still overflow the f32 reconstruction
+            // at high levels (255·scale > f32::MAX); such coordinates
+            // ride as escapes so the codec never fabricates a
+            // non-finite value. Constant vectors keep level 0, which
+            // decodes to `min` exactly.
+            if !x.is_finite() || !(min + f32::from(level) * scale).is_finite() {
+                exceptions.push((i as u32, x));
+                level = 0;
+            }
+            levels.push(level);
         }
         EncodedDelta::Q8 {
             min,
@@ -521,15 +545,14 @@ impl Compressor for Stochastic4Bit {
         let (min, scale) = if lo > hi {
             (0.0, 0.0)
         } else {
-            (lo, (hi - lo) / 15.0)
+            // f64 step: `hi - lo` can overflow f32 (see Uniform8Bit).
+            (lo, ((f64::from(hi) - f64::from(lo)) / 15.0) as f32)
         };
         let mut packed = vec![0u8; dim.div_ceil(2)];
         let mut exceptions = Vec::new();
         for (i, &x) in input.iter().enumerate() {
-            let level: u8 = if !x.is_finite() {
-                exceptions.push((i as u32, x));
-                0
-            } else if scale > 0.0 {
+            let mut level = 0u8;
+            if x.is_finite() && scale > 0.0 {
                 let t = ((x - min) / scale).clamp(0.0, 15.0);
                 let floor = t.floor();
                 // One draw per finite coordinate, in index order — the
@@ -537,10 +560,16 @@ impl Compressor for Stochastic4Bit {
                 // the encoding is deterministic given (seed, round,
                 // client, input).
                 let up = stream.uniform_f32() < t - floor;
-                (floor as u8 + u8::from(up)).min(15)
-            } else {
-                0
-            };
+                level = (floor as u8 + u8::from(up)).min(15);
+            }
+            // Escape non-finite coordinates, and finite ones whose f32
+            // reconstruction overflows at extreme ranges (15·scale can
+            // exceed f32::MAX) — the codec never fabricates non-finite
+            // values.
+            if !x.is_finite() || !(min + f32::from(level) * scale).is_finite() {
+                exceptions.push((i as u32, x));
+                level = 0;
+            }
             packed[i / 2] |= level << ((i % 2) * 4);
         }
         EncodedDelta::Q4 {
@@ -828,27 +857,57 @@ mod tests {
 
     #[test]
     fn stochastic_rounding_is_unbiased_within_a_level_step() {
-        // A coordinate exactly 30% of the way between two levels must
-        // round up ~30% of the time, and the error never exceeds one
-        // full step.
-        let x: Vec<f32> = (0..2000)
-            .map(|i| if i % 2 == 0 { 0.0 } else { 15.3 })
-            .collect();
+        // Two fixed endpoints pin the quantization grid to [0, 15.3];
+        // the probes sit 30% of the way between levels 4 and 5, so
+        // they must round up ~30% of the time, and the error never
+        // exceeds one full step. (The endpoints themselves land on
+        // exact levels and are excluded from the round-up count.)
+        let step = 15.3f32 / 15.0;
+        let probe = 4.3f32 * step;
+        let mut x = vec![0.0f32, 15.3];
+        x.extend(std::iter::repeat_n(probe, 2000));
         let enc = Stochastic4Bit.encode(&x, &mut stream());
         let out = enc.decode();
-        let step = 15.3 / 15.0;
         let mut ups = 0usize;
-        for (a, b) in x.iter().zip(&out) {
+        for (i, (a, b)) in x.iter().zip(&out).enumerate() {
             assert!((a - b).abs() <= step * 1.001, "{a} vs {b}");
-            if *a > 0.0 && *b > *a {
+            if i >= 2 && *b > *a {
                 ups += 1;
             }
         }
-        let frac = ups as f64 / 1000.0;
+        let frac = ups as f64 / 2000.0;
         assert!(
-            (0.15..0.45).contains(&frac),
+            (0.2..0.4).contains(&frac),
             "round-up fraction {frac} far from the 0.3 target"
         );
+    }
+
+    #[test]
+    fn extreme_range_inputs_never_fabricate_non_finite_values() {
+        // `hi - lo` overflows f32 here: the quantization step must be
+        // computed in f64 (an infinite scale decodes every level to
+        // NaN), and any level whose f32 reconstruction still
+        // overflows must ride as an escape.
+        let x = vec![f32::MAX, f32::MIN, 0.0, 1.0e38, -2.0e38];
+        for c in [&Uniform8Bit as &dyn Compressor, &Stochastic4Bit] {
+            let enc = c.encode(&x, &mut stream());
+            assert!(enc.check_integrity(), "{}", c.name());
+            let out = enc.decode();
+            assert!(
+                out.iter().all(|v| v.is_finite()),
+                "{}: non-finite decode from finite input: {out:?}",
+                c.name()
+            );
+            // The escape fallback reproduces the overflowing
+            // endpoint exactly, and billing reflects it.
+            assert_eq!(out[0], f32::MAX, "{}", c.name());
+            let escapes = match &enc {
+                EncodedDelta::Q8 { exceptions, .. }
+                | EncodedDelta::Q4 { exceptions, .. } => exceptions.len(),
+                _ => unreachable!(),
+            };
+            assert!(escapes >= 1, "{}", c.name());
+        }
     }
 
     #[test]

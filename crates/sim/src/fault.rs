@@ -431,6 +431,12 @@ pub fn apply_corruption_encoded(enc: &mut EncodedDelta, corruption: Corruption) 
             values, indices, ..
         } => {
             if values.is_empty() {
+                // Nothing to damage in an empty payload: break the
+                // structure instead (a length mismatch with an
+                // out-of-range index), so an injected fault is always
+                // observable and `rejected == injected` holds.
+                indices.push(u32::MAX);
+                values.push(f32::NAN);
                 return;
             }
             match corruption {
@@ -443,7 +449,17 @@ pub fn apply_corruption_encoded(enc: &mut EncodedDelta, corruption: Corruption) 
             match corruption {
                 Corruption::NanPoison => *scale = f32::NAN,
                 Corruption::InfPoison => *min = f32::INFINITY,
-                Corruption::Scale { factor } => *scale *= factor,
+                Corruption::Scale { factor } => {
+                    if *scale == 0.0 {
+                        // Constant or all-escape vectors quantize with
+                        // scale 0 — multiplying it would be a no-op.
+                        // Damage the offset header instead so the
+                        // fault stays observable downstream.
+                        *min = if *min == 0.0 { factor } else { *min * factor };
+                    } else {
+                        *scale *= factor;
+                    }
+                }
             }
         }
     }
@@ -564,6 +580,52 @@ mod tests {
         assert_eq!(d, vec![100.0, 200.0]);
         // Empty deltas are untouched rather than panicking.
         apply_corruption(&mut [], Corruption::NanPoison);
+    }
+
+    #[test]
+    fn scale_corruption_lands_on_the_offset_for_constant_quantized_vectors() {
+        // A constant vector quantizes with scale == 0; multiplying the
+        // scale header would be a no-op, so the damage must land on
+        // the `min` offset instead.
+        let mut enc = EncodedDelta::Q8 {
+            min: 2.0,
+            scale: 0.0,
+            levels: vec![0; 4],
+            exceptions: Vec::new(),
+        };
+        apply_corruption_encoded(&mut enc, Corruption::Scale { factor: 1e6 });
+        assert!(enc.decode().iter().all(|v| v.abs() >= 1e6));
+
+        // All-zero vectors have min == 0 too: the factor itself
+        // becomes the offset.
+        let mut enc = EncodedDelta::Q8 {
+            min: 0.0,
+            scale: 0.0,
+            levels: vec![0; 4],
+            exceptions: Vec::new(),
+        };
+        apply_corruption_encoded(&mut enc, Corruption::Scale { factor: 1e6 });
+        assert!(enc.decode().iter().all(|&v| v == 1e6));
+    }
+
+    #[test]
+    fn empty_sparse_corruption_breaks_the_structure() {
+        // An empty sparse payload has no value or index slot to
+        // damage; an injected corruption must still be observable —
+        // as a malformed encoding.
+        for kind in [
+            Corruption::NanPoison,
+            Corruption::InfPoison,
+            Corruption::Scale { factor: 1e6 },
+        ] {
+            let mut enc = EncodedDelta::Sparse {
+                dim: 0,
+                indices: Vec::new(),
+                values: Vec::new(),
+            };
+            apply_corruption_encoded(&mut enc, kind);
+            assert!(!enc.check_integrity());
+        }
     }
 
     #[test]
